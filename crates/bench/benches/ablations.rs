@@ -1,0 +1,18 @@
+//! Criterion bench: the ablation suite (δ sensitivity, bin granularity,
+//! oversampling multipliers, matching caliper, boost variants).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpa_bench::{experiments, fixtures};
+
+fn bench(c: &mut Criterion) {
+    let fx = fixtures::tiny();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for id in experiments::ABLATIONS {
+        g.bench_function(id, |b| b.iter(|| experiments::run(id, fx).expect("known id")));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench: regeneration pipeline for experiment `fig11`
+//! (see DESIGN.md §5 for the table/figure it reproduces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpa_bench::{experiments, fixtures};
+
+fn bench(c: &mut Criterion) {
+    let fx = fixtures::small();
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| b.iter(|| experiments::run("fig11", fx).expect("known id")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

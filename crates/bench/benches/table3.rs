@@ -1,0 +1,15 @@
+//! Criterion bench: Table 3's MI-ranking computation (uncached).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpa_bench::fixtures;
+
+fn bench(c: &mut Criterion) {
+    let fx = fixtures::small();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("mi_ranking", |b| b.iter(|| mpa_core::mi_ranking(fx.table(), 20)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench: the quasi-experimental design behind `table5`
+//! (treatment = number of change events), uncached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpa_bench::fixtures;
+use mpa_core::CausalConfig;
+use mpa_metrics::Metric;
+
+fn bench(c: &mut Criterion) {
+    let fx = fixtures::small();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("qed_change_events", |b| {
+        b.iter(|| mpa_core::analyze_treatment(fx.table(), Metric::ChangeEvents, &CausalConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: the top-practice causal sweep behind `table7`, uncached
+//! (three representative treatments; the full table runs ten).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpa_bench::fixtures;
+use mpa_core::CausalConfig;
+use mpa_metrics::Metric;
+
+fn bench(c: &mut Criterion) {
+    let fx = fixtures::small();
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    g.bench_function("qed_three_treatments", |b| {
+        b.iter(|| {
+            for m in [Metric::Devices, Metric::Vlans, Metric::FracAclEvents] {
+                let _ = mpa_core::analyze_treatment(fx.table(), m, &CausalConfig::default());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale tiny|small|medium|paper] [--out DIR] <experiment>... | all | calibrate
+//! ```
+//!
+//! Experiment ids are the paper's table/figure numbers (`table3`, `fig8`,
+//! ...) plus `comparison` (opinion vs evidence) and `calibrate` (dataset
+//! health check). `all` runs everything and, with `--out`, also writes one
+//! text file per experiment — the inputs EXPERIMENTS.md records.
+
+use mpa_bench::experiments;
+use mpa_bench::fixtures::{by_scale, FixtureScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = FixtureScale::Medium;
+    let mut out_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                scale = match v {
+                    "tiny" => FixtureScale::Tiny,
+                    "small" => FixtureScale::Small,
+                    "medium" => FixtureScale::Medium,
+                    "paper" => FixtureScale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => out_dir = it.next().cloned(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: repro [--scale tiny|small|medium|paper] [--out DIR] <experiment>...|all|calibrate"
+        );
+        eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+
+    let fx = by_scale(scale);
+    let mut ids: Vec<String> = Vec::new();
+    for t in targets {
+        match t.as_str() {
+            "all" => ids.extend(experiments::ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(experiments::ABLATIONS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    for id in &ids {
+        let Some(output) = experiments::run(id, fx) else {
+            eprintln!("unknown experiment {id:?} (known: {})", experiments::ALL_EXPERIMENTS.join(" "));
+            std::process::exit(2);
+        };
+        println!("{output}");
+        println!("{}", "=".repeat(78));
+        if let Some(dir) = &out_dir {
+            std::fs::write(format!("{dir}/{id}.txt"), &output).expect("write experiment output");
+        }
+    }
+}

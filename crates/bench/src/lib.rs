@@ -1,0 +1,12 @@
+//! # mpa-bench — reproduction and benchmark harness
+//!
+//! * [`fixtures`] — cached dataset + inference fixtures at several scales
+//!   (generation and inference are deterministic, so caching is sound).
+//! * [`experiments`] — one regenerator per table/figure of the paper; each
+//!   returns the printable artifact, so the `repro` binary and the criterion
+//!   benches share the exact same code paths.
+
+pub mod experiments;
+pub mod fixtures;
+
+pub use fixtures::{Fixture, FixtureScale};

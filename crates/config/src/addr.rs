@@ -1,0 +1,82 @@
+//! Synthetic addressing scheme.
+//!
+//! Each device owns a deterministic loopback address derived from its id,
+//! `10.H.L.1` with `H = id / 256` and `L = id % 256`. BGP neighbor
+//! statements reference the *peer's* loopback, which is what makes
+//! inter-device configuration references (paper Table 1, line D6)
+//! resolvable during fact extraction: seeing `neighbor 10.0.3.1` in a config
+//! tells the analyzer the stanza references device 3.
+//!
+//! Device ids above 65535 would collide with the scheme, so construction is
+//! checked; the synthetic OSP stays well below that (O(10K) devices).
+
+use mpa_model::DeviceId;
+
+/// Loopback address of a device.
+///
+/// # Panics
+/// Panics if the device id exceeds 65535 (outside the 10.H.L.1 scheme).
+pub fn device_loopback(dev: DeviceId) -> String {
+    assert!(dev.0 <= 0xFFFF, "device id {} outside the 10.H.L.1 address plan", dev.0);
+    format!("10.{}.{}.1", dev.0 >> 8, dev.0 & 0xFF)
+}
+
+/// Reverse lookup: parse a loopback produced by [`device_loopback`].
+/// Returns `None` for anything else (external peers, malformed text).
+pub fn parse_loopback(ip: &str) -> Option<DeviceId> {
+    let mut parts = ip.split('.');
+    let a: u32 = parts.next()?.parse().ok()?;
+    let h: u32 = parts.next()?.parse().ok()?;
+    let l: u32 = parts.next()?.parse().ok()?;
+    let last: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || a != 10 || last != 1 || h > 255 || l > 255 {
+        return None;
+    }
+    Some(DeviceId(h << 8 | l))
+}
+
+/// Address of a server-pool member (load-balancer pools point at compute,
+/// not at managed devices): `192.168.S.M`.
+pub fn pool_member_addr(subnet: u8, member: u8) -> String {
+    format!("192.168.{subnet}.{member}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_round_trip() {
+        for id in [0u32, 1, 255, 256, 4095, 65535] {
+            let ip = device_loopback(DeviceId(id));
+            assert_eq!(parse_loopback(&ip), Some(DeviceId(id)), "{ip}");
+        }
+    }
+
+    #[test]
+    fn loopback_formats() {
+        assert_eq!(device_loopback(DeviceId(0)), "10.0.0.1");
+        assert_eq!(device_loopback(DeviceId(259)), "10.1.3.1");
+    }
+
+    #[test]
+    #[should_panic(expected = "address plan")]
+    fn oversized_id_panics() {
+        device_loopback(DeviceId(0x1_0000));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_addresses() {
+        assert_eq!(parse_loopback("192.168.1.1"), None);
+        assert_eq!(parse_loopback("10.0.0.2"), None);
+        assert_eq!(parse_loopback("10.0.0"), None);
+        assert_eq!(parse_loopback("10.0.0.1.5"), None);
+        assert_eq!(parse_loopback("10.999.0.1"), None);
+        assert_eq!(parse_loopback("not-an-ip"), None);
+    }
+
+    #[test]
+    fn pool_member_format() {
+        assert_eq!(pool_member_addr(3, 17), "192.168.3.17");
+    }
+}

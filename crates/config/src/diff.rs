@@ -1,0 +1,235 @@
+//! Stanza-level configuration diff (§2.2, "Operational Practices").
+//!
+//! > "We infer operational practices by comparing two successive
+//! > configuration snapshots from the same device. If at least one stanza
+//! > differs, we count this as a configuration change. ... When part (or
+//! > all) of a stanza is added, removed, or updated, we say a change of type
+//! > T occurred, where T is the stanza type."
+//!
+//! [`diff_configs`] compares two [`ParsedConfig`]s and reports one
+//! [`StanzaChange`] per differing stanza, typed through [`crate::typemap`].
+
+use crate::parse::ParsedConfig;
+use crate::typemap::{map_stanza_kind, ChangeType};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What happened to a stanza between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeAction {
+    /// Stanza present only in the newer snapshot.
+    Added,
+    /// Stanza present only in the older snapshot.
+    Removed,
+    /// Stanza present in both with differing body lines.
+    Updated,
+}
+
+/// One stanza-level difference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StanzaChange {
+    /// Vendor-native stanza kind.
+    pub kind: String,
+    /// Stanza instance name.
+    pub name: String,
+    /// Add / remove / update.
+    pub action: ChangeAction,
+    /// Vendor-agnostic change type.
+    pub change_type: ChangeType,
+}
+
+/// Diff two parsed configurations of the same device.
+///
+/// Changes are reported in a deterministic order (sorted by kind, then
+/// name). An empty result means the snapshots are stanza-identical.
+///
+/// # Panics
+/// Panics if the configs were parsed under different dialects — snapshots of
+/// one device always share a dialect, so that is a caller bug.
+pub fn diff_configs(old: &ParsedConfig, new: &ParsedConfig) -> Vec<StanzaChange> {
+    assert_eq!(old.dialect, new.dialect, "cannot diff configs across dialects");
+    let dialect = new.dialect;
+
+    let index = |cfg: &ParsedConfig| -> BTreeMap<(String, String), Vec<String>> {
+        cfg.stanzas
+            .iter()
+            .map(|s| ((s.kind.clone(), s.name.clone()), s.lines.clone()))
+            .collect()
+    };
+    let old_ix = index(old);
+    let new_ix = index(new);
+
+    let mut changes = Vec::new();
+    for (key, old_lines) in &old_ix {
+        match new_ix.get(key) {
+            None => changes.push(StanzaChange {
+                kind: key.0.clone(),
+                name: key.1.clone(),
+                action: ChangeAction::Removed,
+                change_type: map_stanza_kind(dialect, &key.0),
+            }),
+            Some(new_lines) if new_lines != old_lines => changes.push(StanzaChange {
+                kind: key.0.clone(),
+                name: key.1.clone(),
+                action: ChangeAction::Updated,
+                change_type: map_stanza_kind(dialect, &key.0),
+            }),
+            Some(_) => {}
+        }
+    }
+    for key in new_ix.keys() {
+        if !old_ix.contains_key(key) {
+            changes.push(StanzaChange {
+                kind: key.0.clone(),
+                name: key.1.clone(),
+                action: ChangeAction::Added,
+                change_type: map_stanza_kind(dialect, &key.0),
+            });
+        }
+    }
+    changes.sort_by(|a, b| (&a.kind, &a.name).cmp(&(&b.kind, &b.name)));
+    changes
+}
+
+/// Distinct vendor-agnostic change types present in a diff.
+pub fn change_types(changes: &[StanzaChange]) -> Vec<ChangeType> {
+    let mut types: Vec<ChangeType> = changes.iter().map(|c| c.change_type).collect();
+    types.sort_unstable();
+    types.dedup();
+    types
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_config;
+    use crate::render::render_config;
+    use crate::semantic::{AclRule, DeviceConfig};
+    use mpa_model::device::Dialect;
+
+    fn parsed(cfg: &DeviceConfig) -> ParsedConfig {
+        parse_config(&render_config(cfg), cfg.dialect).unwrap()
+    }
+
+    fn base(dialect: Dialect) -> DeviceConfig {
+        let mut c = DeviceConfig::new("h", dialect);
+        c.assign_interface_vlan(1, 10);
+        c.acl_add_rule("edge", AclRule { permit: true, protocol: "tcp".into(), port: 443 });
+        c.apply_acl(1, "edge");
+        c
+    }
+
+    #[test]
+    fn identical_configs_have_no_diff() {
+        let c = base(Dialect::BlockKeyword);
+        assert!(diff_configs(&parsed(&c), &parsed(&c)).is_empty());
+    }
+
+    #[test]
+    fn acl_rule_edit_is_an_acl_update_on_both_dialects() {
+        for d in [Dialect::BlockKeyword, Dialect::BraceHierarchy] {
+            let old = base(d);
+            let mut new = old.clone();
+            new.acl_add_rule("edge", AclRule { permit: false, protocol: "udp".into(), port: 53 });
+            let changes = diff_configs(&parsed(&old), &parsed(&new));
+            assert_eq!(changes.len(), 1, "{d:?}: {changes:?}");
+            assert_eq!(changes[0].change_type, ChangeType::Acl);
+            assert_eq!(changes[0].action, ChangeAction::Updated);
+        }
+    }
+
+    #[test]
+    fn vlan_assignment_types_differently_per_dialect() {
+        // The paper's §2.2 example, verified end to end: the same semantic
+        // operation is an *interface* change on the block dialect and a
+        // *vlan* change on the brace dialect.
+        for (d, expect) in [
+            (Dialect::BlockKeyword, ChangeType::Interface),
+            (Dialect::BraceHierarchy, ChangeType::Vlan),
+        ] {
+            let old = base(d);
+            let mut new = old.clone();
+            new.assign_interface_vlan(1, 20); // move port 1 from vlan 10 to 20
+            let changes = diff_configs(&parsed(&old), &parsed(&new));
+            let types = change_types(&changes);
+            assert!(
+                types.contains(&expect),
+                "{d:?}: expected {expect:?} in {types:?} ({changes:?})"
+            );
+            match d {
+                // Block dialect: only the interface stanza changed (vlan 20
+                // stanza is also added — creation of the vlan).
+                Dialect::BlockKeyword => {
+                    assert!(changes
+                        .iter()
+                        .any(|c| c.change_type == ChangeType::Interface
+                            && c.action == ChangeAction::Updated));
+                }
+                // Brace dialect: membership lists of v10 and v20 changed,
+                // but the interface stanza did not.
+                Dialect::BraceHierarchy => {
+                    assert!(!types.contains(&ChangeType::Interface));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn added_and_removed_stanzas() {
+        let old = base(Dialect::BlockKeyword);
+        let mut new = old.clone();
+        new.add_user("ops1", "operator");
+        new.remove_acl("edge");
+        let changes = diff_configs(&parsed(&old), &parsed(&new));
+        let added: Vec<_> =
+            changes.iter().filter(|c| c.action == ChangeAction::Added).collect();
+        let removed: Vec<_> =
+            changes.iter().filter(|c| c.action == ChangeAction::Removed).collect();
+        assert_eq!(added.len(), 1);
+        assert_eq!(added[0].change_type, ChangeType::User);
+        // Removing the ACL also updates Eth0/1 (the access-group line went away).
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].change_type, ChangeType::Acl);
+        assert!(changes
+            .iter()
+            .any(|c| c.change_type == ChangeType::Interface && c.action == ChangeAction::Updated));
+    }
+
+    #[test]
+    fn diff_is_symmetric_up_to_action_inversion() {
+        let old = base(Dialect::BraceHierarchy);
+        let mut new = old.clone();
+        new.add_vlan(30);
+        let fwd = diff_configs(&parsed(&old), &parsed(&new));
+        let rev = diff_configs(&parsed(&new), &parsed(&old));
+        assert_eq!(fwd.len(), rev.len());
+        assert_eq!(fwd[0].action, ChangeAction::Added);
+        assert_eq!(rev[0].action, ChangeAction::Removed);
+        assert_eq!(fwd[0].key(), rev[0].key());
+    }
+
+    impl StanzaChange {
+        fn key(&self) -> (&str, &str) {
+            (&self.kind, &self.name)
+        }
+    }
+
+    #[test]
+    fn change_types_dedupes_and_sorts() {
+        let old = base(Dialect::BlockKeyword);
+        let mut new = old.clone();
+        new.assign_interface_vlan(2, 10);
+        new.assign_interface_vlan(3, 10);
+        let changes = diff_configs(&parsed(&old), &parsed(&new));
+        assert!(changes.len() >= 2, "two interface stanzas changed");
+        assert_eq!(change_types(&changes), vec![ChangeType::Interface]);
+    }
+
+    #[test]
+    #[should_panic(expected = "across dialects")]
+    fn cross_dialect_diff_panics() {
+        let a = parsed(&base(Dialect::BlockKeyword));
+        let b = parsed(&base(Dialect::BraceHierarchy));
+        diff_configs(&a, &b);
+    }
+}

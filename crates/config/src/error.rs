@@ -1,0 +1,61 @@
+//! Configuration-layer errors.
+
+use std::fmt;
+
+/// Errors raised while parsing configuration text or maintaining archives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A body line appeared before any stanza header (block-keyword dialect).
+    OrphanLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Unbalanced braces (brace-hierarchy dialect).
+    UnbalancedBraces {
+        /// 1-based line number where the imbalance was detected.
+        line: usize,
+    },
+    /// A snapshot was appended out of chronological order.
+    OutOfOrderSnapshot {
+        /// Device the snapshot belongs to.
+        device: String,
+    },
+    /// The config text was missing a hostname declaration.
+    MissingHostname,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OrphanLine { line, text } => {
+                write!(f, "line {line}: body line outside any stanza: {text:?}")
+            }
+            ConfigError::UnbalancedBraces { line } => {
+                write!(f, "line {line}: unbalanced braces")
+            }
+            ConfigError::OutOfOrderSnapshot { device } => {
+                write!(f, "snapshot for {device} is older than the latest archived one")
+            }
+            ConfigError::MissingHostname => write!(f, "config text declares no hostname"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = ConfigError::OrphanLine { line: 3, text: " mtu 1500".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = ConfigError::UnbalancedBraces { line: 9 };
+        assert!(e.to_string().contains("line 9"));
+        let e = ConfigError::OutOfOrderSnapshot { device: "d1".into() };
+        assert!(e.to_string().contains("d1"));
+    }
+}

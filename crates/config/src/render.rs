@@ -1,0 +1,453 @@
+//! Rendering a [`DeviceConfig`] to configuration text.
+//!
+//! Two dialects are supported, matching the two config-language families the
+//! paper parses with its Batfish extension:
+//!
+//! * **Block-keyword** (Cisco-IOS-flavoured): flat stanzas introduced by a
+//!   keyword at column zero, indented option lines, `!` separators.
+//! * **Brace-hierarchy** (JunOS-flavoured): nested `{}` blocks with
+//!   `;`-terminated leaves.
+//!
+//! Rendering is *deterministic*: all collections in [`DeviceConfig`] are
+//! ordered (BTree maps), so the same semantic state always produces the same
+//! bytes — a property both the snapshot-diff tests and the paper's "if at
+//! least one stanza differs" change definition rely on.
+//!
+//! The two dialects deliberately disagree about where VLAN membership lives:
+//! the block-keyword dialect puts `switchport access vlan N` inside the
+//! *interface* stanza, while the brace dialect lists member interfaces
+//! inside the *vlans* stanza. The paper calls out exactly this quirk (§2.2):
+//! the same semantic change is typed `interface` on one vendor and `vlan` on
+//! the other.
+
+use crate::semantic::DeviceConfig;
+use mpa_model::device::Dialect;
+
+/// Render a device config to text in its own dialect.
+pub fn render_config(cfg: &DeviceConfig) -> String {
+    match cfg.dialect {
+        Dialect::BlockKeyword => block_keyword::render(cfg),
+        Dialect::BraceHierarchy => brace_hierarchy::render(cfg),
+    }
+}
+
+/// Interface name for a port number in the given dialect
+/// (`Eth0/7` vs `xe-0/0/7`).
+pub fn interface_name(dialect: Dialect, port: u16) -> String {
+    match dialect {
+        Dialect::BlockKeyword => format!("Eth0/{port}"),
+        Dialect::BraceHierarchy => format!("xe-0/0/{port}"),
+    }
+}
+
+/// Parse a port number back out of an interface name in either dialect.
+pub fn parse_interface_name(name: &str) -> Option<u16> {
+    let tail = name.strip_prefix("Eth0/").or_else(|| name.strip_prefix("xe-0/0/"))?;
+    tail.parse().ok()
+}
+
+mod block_keyword {
+    use super::*;
+
+    pub fn render(cfg: &DeviceConfig) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut sect = |s: &str| {
+            out.push_str(s);
+            if !s.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("!\n");
+        };
+
+        sect(&format!("hostname {}", cfg.hostname));
+
+        for server in &cfg.ntp_servers {
+            sect(&format!("ntp server {server}"));
+        }
+        if let Some(comm) = &cfg.snmp_community {
+            sect(&format!("snmp-server community {comm}"));
+        }
+        for (name, u) in &cfg.users {
+            sect(&format!("username {name} role {}", u.role));
+        }
+        if let Some(sf) = &cfg.sflow {
+            sect(&format!("sflow collector {} rate {}", sf.collector, sf.rate));
+        }
+        if cfg.features.spanning_tree {
+            sect("spanning-tree mode rapid-pvst");
+        }
+        if cfg.features.lacp {
+            sect("lacp system-priority 32768");
+        }
+        if cfg.features.udld {
+            sect("udld enable");
+        }
+        if cfg.features.dhcp_relay {
+            sect("ip dhcp relay enable");
+        }
+
+        for (id, v) in &cfg.vlans {
+            sect(&format!("vlan {id}\n name {}", v.name));
+        }
+
+        for (name, acl) in &cfg.acls {
+            let mut s = format!("ip access-list extended {name}");
+            for r in &acl.rules {
+                let act = if r.permit { "permit" } else { "deny" };
+                s.push_str(&format!("\n {} {} any any eq {}", act, r.protocol, r.port));
+            }
+            sect(&s);
+        }
+
+        for (name, q) in &cfg.qos {
+            sect(&format!("class-map {name}\n set dscp {}", q.dscp));
+        }
+
+        for (&port, ifc) in &cfg.interfaces {
+            let mut s = format!("interface {}", interface_name(cfg.dialect, port));
+            if !ifc.description.is_empty() {
+                s.push_str(&format!("\n description {}", ifc.description));
+            }
+            s.push_str(&format!("\n mtu {}", ifc.mtu));
+            if let Some(vlan) = ifc.access_vlan {
+                s.push_str(&format!("\n switchport access vlan {vlan}"));
+            }
+            if let Some(acl) = &ifc.acl_in {
+                s.push_str(&format!("\n ip access-group {acl} in"));
+            }
+            if !ifc.enabled {
+                s.push_str("\n shutdown");
+            }
+            sect(&s);
+        }
+
+        if let Some(ospf) = &cfg.ospf {
+            let mut s = format!("router ospf {}", ospf.process);
+            for n in &ospf.networks {
+                s.push_str(&format!("\n network {n} area 0"));
+            }
+            sect(&s);
+        }
+        if let Some(bgp) = &cfg.bgp {
+            let mut s = format!("router bgp {}", bgp.local_as);
+            for (ip, ras) in &bgp.neighbors {
+                s.push_str(&format!("\n neighbor {ip} remote-as {ras}"));
+            }
+            sect(&s);
+        }
+
+        for (name, p) in &cfg.pools {
+            let mut s = format!("pool {name}\n monitor {}", p.monitor);
+            for m in &p.members {
+                s.push_str(&format!("\n member {m}"));
+            }
+            sect(&s);
+        }
+
+        out
+    }
+}
+
+mod brace_hierarchy {
+    use super::*;
+    use std::fmt::Write as _;
+
+    pub fn render(cfg: &DeviceConfig) -> String {
+        let mut w = Writer::default();
+
+        w.open("system");
+        w.leaf(&format!("host-name {}", cfg.hostname));
+        if !cfg.users.is_empty() {
+            w.open("login");
+            for (name, u) in &cfg.users {
+                w.open(&format!("user {name}"));
+                w.leaf(&format!("class {}", u.role));
+                w.close();
+            }
+            w.close();
+        }
+        if !cfg.ntp_servers.is_empty() {
+            w.open("ntp");
+            for s in &cfg.ntp_servers {
+                w.leaf(&format!("server {s}"));
+            }
+            w.close();
+        }
+        w.close();
+
+        if let Some(comm) = &cfg.snmp_community {
+            w.open("snmp");
+            w.leaf(&format!("community {comm}"));
+            w.close();
+        }
+
+        if !cfg.interfaces.is_empty() {
+            w.open("interfaces");
+            for (&port, ifc) in &cfg.interfaces {
+                w.open(&interface_name(cfg.dialect, port));
+                if !ifc.description.is_empty() {
+                    w.leaf(&format!("description \"{}\"", ifc.description));
+                }
+                w.leaf(&format!("mtu {}", ifc.mtu));
+                if let Some(acl) = &ifc.acl_in {
+                    w.leaf(&format!("filter input {acl}"));
+                }
+                if !ifc.enabled {
+                    w.leaf("disable");
+                }
+                w.close();
+            }
+            w.close();
+        }
+
+        if !cfg.vlans.is_empty() {
+            w.open("vlans");
+            for (id, v) in &cfg.vlans {
+                w.open(&v.name);
+                w.leaf(&format!("vlan-id {id}"));
+                for port in cfg.vlan_members(*id) {
+                    w.leaf(&format!("interface {}", interface_name(cfg.dialect, port)));
+                }
+                w.close();
+            }
+            w.close();
+        }
+
+        if !cfg.acls.is_empty() {
+            w.open("firewall");
+            for (name, acl) in &cfg.acls {
+                w.open(&format!("filter {name}"));
+                for (i, r) in acl.rules.iter().enumerate() {
+                    w.open(&format!("term t{i}"));
+                    w.leaf(&format!("from protocol {} port {}", r.protocol, r.port));
+                    w.leaf(if r.permit { "then accept" } else { "then discard" });
+                    w.close();
+                }
+                w.close();
+            }
+            w.close();
+        }
+
+        if !cfg.qos.is_empty() {
+            w.open("class-of-service");
+            for (name, q) in &cfg.qos {
+                w.open(name);
+                w.leaf(&format!("dscp {}", q.dscp));
+                w.close();
+            }
+            w.close();
+        }
+
+        let has_protocols = cfg.bgp.is_some()
+            || cfg.ospf.is_some()
+            || cfg.sflow.is_some()
+            || cfg.features.spanning_tree
+            || cfg.features.lacp
+            || cfg.features.udld;
+        if has_protocols {
+            w.open("protocols");
+            if let Some(ospf) = &cfg.ospf {
+                w.open("ospf");
+                w.leaf(&format!("process {}", ospf.process));
+                for n in &ospf.networks {
+                    w.leaf(&format!("area 0 network {n}"));
+                }
+                w.close();
+            }
+            if let Some(bgp) = &cfg.bgp {
+                w.open("bgp");
+                w.leaf(&format!("local-as {}", bgp.local_as));
+                for (ip, ras) in &bgp.neighbors {
+                    w.open(&format!("neighbor {ip}"));
+                    w.leaf(&format!("peer-as {ras}"));
+                    w.close();
+                }
+                w.close();
+            }
+            if cfg.features.spanning_tree {
+                w.open("rstp");
+                w.leaf("enable");
+                w.close();
+            }
+            if cfg.features.lacp {
+                w.open("lacp");
+                w.leaf("enable");
+                w.close();
+            }
+            if cfg.features.udld {
+                w.open("udld");
+                w.leaf("enable");
+                w.close();
+            }
+            if let Some(sf) = &cfg.sflow {
+                w.open("sflow");
+                w.leaf(&format!("collector {}", sf.collector));
+                w.leaf(&format!("rate {}", sf.rate));
+                w.close();
+            }
+            w.close();
+        }
+
+        if cfg.features.dhcp_relay {
+            w.open("forwarding-options");
+            w.open("dhcp-relay");
+            w.leaf("enable");
+            w.close();
+            w.close();
+        }
+
+        if !cfg.pools.is_empty() {
+            w.open("load-balance");
+            for (name, p) in &cfg.pools {
+                w.open(&format!("pool {name}"));
+                w.leaf(&format!("monitor {}", p.monitor));
+                for m in &p.members {
+                    w.leaf(&format!("member {m}"));
+                }
+                w.close();
+            }
+            w.close();
+        }
+
+        w.finish()
+    }
+
+    /// Indentation-tracking writer for brace blocks.
+    #[derive(Default)]
+    struct Writer {
+        out: String,
+        depth: usize,
+    }
+
+    impl Writer {
+        fn open(&mut self, header: &str) {
+            let _ = writeln!(self.out, "{}{} {{", "    ".repeat(self.depth), header);
+            self.depth += 1;
+        }
+
+        fn leaf(&mut self, line: &str) {
+            let _ = writeln!(self.out, "{}{};", "    ".repeat(self.depth), line);
+        }
+
+        fn close(&mut self) {
+            self.depth -= 1;
+            let _ = writeln!(self.out, "{}}}", "    ".repeat(self.depth));
+        }
+
+        fn finish(self) -> String {
+            assert_eq!(self.depth, 0, "unbalanced braces in renderer");
+            self.out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantic::AclRule;
+
+    fn sample(dialect: Dialect) -> DeviceConfig {
+        let mut c = DeviceConfig::new("net0-sw-dev0", dialect);
+        c.set_description(1, "link to net0-rtr-dev1");
+        c.assign_interface_vlan(1, 10);
+        c.assign_interface_vlan(2, 10);
+        c.acl_add_rule("edge", AclRule { permit: true, protocol: "tcp".into(), port: 443 });
+        c.apply_acl(1, "edge");
+        c.bgp_add_neighbor(65001, "10.0.0.1", 65002);
+        c.ospf_advertise(1, "10.0.0.0/8");
+        c.add_pool("web", "http");
+        c.pool_add_member("web", "192.168.1.10:443");
+        c.add_user("ops1", "operator");
+        c.features.spanning_tree = true;
+        c.features.dhcp_relay = true;
+        c.set_sflow("192.0.2.9", 2048);
+        c.set_qos_class("voice", 46);
+        c.ntp_servers.push("192.0.2.1".into());
+        c.snmp_community = Some("public".into());
+        c
+    }
+
+    #[test]
+    fn interface_names_round_trip() {
+        assert_eq!(interface_name(Dialect::BlockKeyword, 7), "Eth0/7");
+        assert_eq!(interface_name(Dialect::BraceHierarchy, 7), "xe-0/0/7");
+        assert_eq!(parse_interface_name("Eth0/7"), Some(7));
+        assert_eq!(parse_interface_name("xe-0/0/7"), Some(7));
+        assert_eq!(parse_interface_name("Gig1/1"), None);
+    }
+
+    #[test]
+    fn block_keyword_places_vlan_membership_on_interface() {
+        let text = render_config(&sample(Dialect::BlockKeyword));
+        assert!(text.contains("interface Eth0/1"));
+        assert!(text.contains(" switchport access vlan 10"));
+        // The vlan stanza itself does NOT list members in this dialect.
+        let vlan_stanza: Vec<&str> = text
+            .split("!\n")
+            .filter(|s| s.starts_with("vlan 10"))
+            .collect();
+        assert_eq!(vlan_stanza.len(), 1);
+        assert!(!vlan_stanza[0].contains("Eth0/1"));
+    }
+
+    #[test]
+    fn brace_hierarchy_places_vlan_membership_on_vlan() {
+        let text = render_config(&sample(Dialect::BraceHierarchy));
+        assert!(text.contains("vlans {"));
+        assert!(text.contains("interface xe-0/0/1;"), "member listed in vlans block");
+        // The interface block must NOT mention the vlan.
+        let iface_region = text
+            .split("interfaces {")
+            .nth(1)
+            .unwrap()
+            .split("vlans {")
+            .next()
+            .unwrap();
+        assert!(!iface_region.contains("vlan"), "no vlan membership under interfaces");
+    }
+
+    #[test]
+    fn acl_naming_differs_across_dialects() {
+        let cisco = render_config(&sample(Dialect::BlockKeyword));
+        let junos = render_config(&sample(Dialect::BraceHierarchy));
+        assert!(cisco.contains("ip access-list extended edge"));
+        assert!(junos.contains("filter edge {"));
+        assert!(junos.contains("firewall {"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = render_config(&sample(Dialect::BraceHierarchy));
+        let b = render_config(&sample(Dialect::BraceHierarchy));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn brace_output_is_balanced() {
+        let text = render_config(&sample(Dialect::BraceHierarchy));
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+        assert!(opens >= 10, "non-trivial structure, got {opens} blocks");
+    }
+
+    #[test]
+    fn empty_config_renders_minimal_text() {
+        let c = DeviceConfig::new("empty", Dialect::BlockKeyword);
+        let text = render_config(&c);
+        assert!(text.starts_with("hostname empty"));
+        let c = DeviceConfig::new("empty", Dialect::BraceHierarchy);
+        let text = render_config(&c);
+        assert!(text.contains("host-name empty;"));
+    }
+
+    #[test]
+    fn all_semantic_sections_appear() {
+        for d in [Dialect::BlockKeyword, Dialect::BraceHierarchy] {
+            let text = render_config(&sample(d));
+            for needle in ["65001", "65002", "10.0.0.1", "192.168.1.10:443", "ops1", "2048", "46", "public", "192.0.2.1"] {
+                assert!(text.contains(needle), "{d:?} output missing {needle}:\n{text}");
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based round-trip tests for the configuration substrate:
+//! arbitrary semantic configs must render, parse, diff-to-nothing against
+//! themselves, and yield facts consistent with the semantic state — in both
+//! dialects.
+
+use mpa_config::facts::extract_facts;
+use mpa_config::semantic::{AclRule, DeviceConfig};
+use mpa_config::{diff_configs, parse_config, render_config};
+use mpa_model::device::Dialect;
+use proptest::prelude::*;
+
+/// A strategy producing structurally arbitrary (but valid) device configs.
+fn arb_config() -> impl Strategy<Value = DeviceConfig> {
+    let dialect = prop_oneof![Just(Dialect::BlockKeyword), Just(Dialect::BraceHierarchy)];
+    (
+        dialect,
+        proptest::collection::vec((1u16..40, 1u16..300), 0..12), // (port, vlan)
+        proptest::collection::vec((0u8..4, 1u16..1000, any::<bool>()), 0..10), // acl rules
+        proptest::collection::vec(0u8..26, 0..5),                // users
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec((0u8..200, 0u8..200), 0..8), // bgp ext peers
+        proptest::collection::vec((0u8..6, 0u8..30), 0..12),   // pool members
+    )
+        .prop_map(|(dialect, vlans, acl_rules, users, stp, sflow, peers, members)| {
+            let mut c = DeviceConfig::new("prop-dev", dialect);
+            for (port, vlan) in vlans {
+                c.assign_interface_vlan(port, vlan);
+            }
+            for (acl_ix, port, permit) in acl_rules {
+                c.acl_add_rule(
+                    &format!("acl-{acl_ix}"),
+                    AclRule {
+                        permit,
+                        protocol: if port % 2 == 0 { "tcp".into() } else { "udp".into() },
+                        port,
+                    },
+                );
+            }
+            for u in users {
+                c.add_user(format!("user-{u}"), "operator");
+            }
+            c.features.spanning_tree = stp;
+            if sflow {
+                c.set_sflow("192.0.2.9", 1024);
+            }
+            for (a, b) in peers {
+                c.bgp_add_neighbor(65_000, &format!("172.18.{a}.{}", b.max(1)), 64_512);
+            }
+            for (pool, m) in members {
+                c.pool_add_member(&format!("pool-{pool}"), &format!("192.168.9.{m}:443"));
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rendered_configs_always_parse(cfg in arb_config()) {
+        let text = render_config(&cfg);
+        let parsed = parse_config(&text, cfg.dialect);
+        prop_assert!(parsed.is_ok(), "render output failed to parse:\n{text}");
+        prop_assert_eq!(parsed.unwrap().hostname, "prop-dev");
+    }
+
+    #[test]
+    fn self_diff_is_empty(cfg in arb_config()) {
+        let parsed = parse_config(&render_config(&cfg), cfg.dialect).unwrap();
+        prop_assert!(diff_configs(&parsed, &parsed).is_empty());
+    }
+
+    #[test]
+    fn render_parse_render_is_stable(cfg in arb_config()) {
+        // Parsing is lossy upward (text → stanzas), but rendering the same
+        // semantic state twice must be byte-identical, and two parses of
+        // that text must be structurally identical.
+        let text = render_config(&cfg);
+        prop_assert_eq!(&text, &render_config(&cfg));
+        let a = parse_config(&text, cfg.dialect).unwrap();
+        let b = parse_config(&text, cfg.dialect).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn facts_agree_with_semantic_state(cfg in arb_config()) {
+        let parsed = parse_config(&render_config(&cfg), cfg.dialect).unwrap();
+        let facts = extract_facts(&parsed);
+
+        let expected_vlans: std::collections::BTreeSet<u16> =
+            cfg.vlans.keys().copied().collect();
+        prop_assert_eq!(&facts.vlan_ids, &expected_vlans);
+        prop_assert_eq!(facts.acl_count, cfg.acls.len());
+        let expected_rules: usize = cfg.acls.values().map(|a| a.rules.len()).sum();
+        prop_assert_eq!(facts.acl_rule_count, expected_rules);
+        prop_assert_eq!(facts.user_count, cfg.users.len());
+        prop_assert_eq!(facts.pool_count, cfg.pools.len());
+        let expected_members: usize = cfg.pools.values().map(|p| p.members.len()).sum();
+        prop_assert_eq!(facts.pool_member_count, expected_members);
+        prop_assert_eq!(facts.bgp_local_as.is_some(), cfg.bgp.is_some());
+        prop_assert_eq!(facts.has_sflow, cfg.sflow.is_some());
+        prop_assert_eq!(facts.iface_count, cfg.interfaces.len());
+        // Every VLAN membership is an intra-device reference in both dialects.
+        let memberships =
+            cfg.interfaces.values().filter(|i| i.access_vlan.is_some()).count();
+        prop_assert!(facts.intra_refs >= memberships);
+    }
+
+    #[test]
+    fn single_semantic_edit_produces_a_diff(cfg in arb_config(), vlan in 1u16..300) {
+        let before = parse_config(&render_config(&cfg), cfg.dialect).unwrap();
+        let mut edited = cfg.clone();
+        // Pick a guaranteed-new vlan id (above the strategy's range).
+        edited.add_vlan(1000 + vlan);
+        let after = parse_config(&render_config(&edited), edited.dialect).unwrap();
+        let changes = diff_configs(&before, &after);
+        prop_assert!(!changes.is_empty());
+        prop_assert!(changes
+            .iter()
+            .all(|c| c.change_type == mpa_config::ChangeType::Vlan));
+    }
+}

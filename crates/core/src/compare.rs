@@ -1,0 +1,218 @@
+//! Operator opinion vs. analytical evidence.
+//!
+//! The paper's motivating punchline (§1, §5.2.6, §9): "our causal analysis
+//! uncovers some high impact practices that operators thought had a low
+//! impact" — concretely, the ACL-change fraction is causal despite a
+//! majority-low opinion, and the middlebox-change fraction ranks 23/28 by
+//! MI despite a majority-high opinion. This module lines the survey up
+//! against the MI ranking and causal results and classifies each practice's
+//! verdict.
+
+use crate::causal::{CausalAnalysis, CausalConfig};
+use crate::dependence::MiEntry;
+use mpa_metrics::Metric;
+use mpa_synth::survey::{majority_opinion, ImpactOpinion, SurveyPractice, SurveyResponse};
+use serde::{Deserialize, Serialize};
+
+/// How opinion and evidence relate for one practice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Agreement {
+    /// Opinion and evidence point the same way.
+    Agrees,
+    /// Evidence contradicts the majority opinion.
+    Contradicts,
+    /// The analysis could not establish either way (e.g., imbalanced
+    /// matching at every comparison point).
+    Inconclusive,
+}
+
+/// Survey practice ↔ inferred metric mapping. `NumProtocols` maps to the L2
+/// protocol count (the closest single metric; the survey question did not
+/// distinguish layers).
+pub fn survey_metric(p: SurveyPractice) -> Metric {
+    match p {
+        SurveyPractice::NumDevices => Metric::Devices,
+        SurveyPractice::NumModels => Metric::Models,
+        SurveyPractice::NumFirmwareVersions => Metric::FirmwareVersions,
+        SurveyPractice::NumProtocols => Metric::L2Protocols,
+        SurveyPractice::InterDeviceComplexity => Metric::InterComplexity,
+        SurveyPractice::NumChangeEvents => Metric::ChangeEvents,
+        SurveyPractice::AvgDevicesPerEvent => Metric::AvgDevicesPerEvent,
+        SurveyPractice::FracMboxChange => Metric::FracMboxEvents,
+        SurveyPractice::FracAutomated => Metric::FracAutomated,
+        SurveyPractice::FracRouterChange => Metric::FracRouterEvents,
+        SurveyPractice::FracAclChange => Metric::FracAclEvents,
+    }
+}
+
+/// One practice's opinion-vs-evidence record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpinionEvidence {
+    /// The surveyed practice.
+    pub practice: SurveyPractice,
+    /// The metric it maps to.
+    pub metric: Metric,
+    /// Majority survey opinion.
+    pub majority: ImpactOpinion,
+    /// Rank in the MI table (1-based), if present.
+    pub mi_rank: usize,
+    /// Whether causal analysis found an effect at the 1:2 point
+    /// (`None` = the practice was not causally analyzed).
+    pub causal: Option<bool>,
+    /// Verdict.
+    pub agreement: Agreement,
+}
+
+/// Line the survey up against the evidence.
+///
+/// Rules (conservative, favouring `Inconclusive`):
+/// * majority High/Medium + (causal effect, or MI rank ≤ 10) → `Agrees`;
+/// * majority High + MI rank > 15 and no causal effect → `Contradicts`
+///   (the middlebox case);
+/// * majority Low/No + causal effect → `Contradicts` (the ACL case);
+/// * majority Low/No + no causal effect established + low MI → `Agrees`;
+/// * otherwise `Inconclusive`.
+pub fn compare_survey(
+    responses: &[SurveyResponse],
+    mi: &[MiEntry],
+    causal: &[CausalAnalysis],
+    config: &CausalConfig,
+) -> Vec<OpinionEvidence> {
+    SurveyPractice::ALL
+        .iter()
+        .map(|&practice| {
+            let metric = survey_metric(practice);
+            let majority = majority_opinion(responses, practice);
+            let mi_rank = mi
+                .iter()
+                .position(|e| e.metric == metric)
+                .map(|p| p + 1)
+                .unwrap_or(usize::MAX);
+            let causal_found = causal.iter().find(|a| a.metric == metric).map(|a| {
+                a.low_bin_comparison().is_some_and(|c| c.causal(config))
+            });
+
+            let opined_high = matches!(majority, ImpactOpinion::High | ImpactOpinion::Medium);
+            let evidence_high = causal_found == Some(true) || mi_rank <= 10;
+            let evidence_low = causal_found != Some(true) && mi_rank > 15;
+
+            let agreement = if opined_high && evidence_high {
+                Agreement::Agrees
+            } else if opined_high && evidence_low {
+                Agreement::Contradicts
+            } else if !opined_high && causal_found == Some(true) {
+                Agreement::Contradicts
+            } else if !opined_high && evidence_low {
+                Agreement::Agrees
+            } else {
+                Agreement::Inconclusive
+            };
+
+            OpinionEvidence { practice, metric, majority, mi_rank, causal: causal_found, agreement }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::ComparisonResult;
+    use mpa_stats::signtest::sign_test;
+    use mpa_stats::BalanceCheck;
+    use mpa_synth::survey::generate_survey;
+
+    fn fake_mi(order: &[Metric]) -> Vec<MiEntry> {
+        order
+            .iter()
+            .enumerate()
+            .map(|(i, &metric)| MiEntry { metric, mi: 1.0 - i as f64 * 0.01 })
+            .collect()
+    }
+
+    fn fake_causal(metric: Metric, significant: bool) -> CausalAnalysis {
+        let sign = if significant {
+            sign_test(100, 10, 400)
+        } else {
+            sign_test(100, 10, 110)
+        };
+        CausalAnalysis {
+            metric,
+            comparisons: vec![ComparisonResult {
+                point: (1, 2),
+                n_untreated: 1_000,
+                n_treated: 500,
+                n_pairs: 510,
+                n_untreated_matched: 300,
+                score_balance: Some(BalanceCheck { std_diff: 0.01, var_ratio: 1.0 }),
+                n_imbalanced_covariates: 0,
+                sign: Some(sign),
+                matched_treated_ix: vec![],
+                matched_untreated_ix: vec![],
+                imbalanced: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn acl_contradiction_is_detected() {
+        // Survey: ACL majority Low. Evidence: causal → Contradicts.
+        let responses = generate_survey(42);
+        let mut order: Vec<Metric> = Metric::ALL.to_vec();
+        // Put FracAclEvents at rank 10.
+        order.retain(|&m| m != Metric::FracAclEvents);
+        order.insert(9, Metric::FracAclEvents);
+        let mi = fake_mi(&order);
+        let causal = vec![fake_causal(Metric::FracAclEvents, true)];
+        let rows = compare_survey(&responses, &mi, &causal, &CausalConfig::default());
+        let acl = rows.iter().find(|r| r.practice == SurveyPractice::FracAclChange).unwrap();
+        assert_eq!(acl.majority, ImpactOpinion::Low);
+        assert_eq!(acl.causal, Some(true));
+        assert_eq!(acl.agreement, Agreement::Contradicts);
+    }
+
+    #[test]
+    fn mbox_contradiction_is_detected() {
+        // Survey: mbox majority High. Evidence: MI rank 23, no causal data.
+        let responses = generate_survey(42);
+        let mut order: Vec<Metric> = Metric::ALL.to_vec();
+        order.retain(|&m| m != Metric::FracMboxEvents);
+        order.insert(22, Metric::FracMboxEvents);
+        let mi = fake_mi(&order);
+        let rows = compare_survey(&responses, &mi, &[], &CausalConfig::default());
+        let mbox = rows.iter().find(|r| r.practice == SurveyPractice::FracMboxChange).unwrap();
+        assert_eq!(mbox.majority, ImpactOpinion::High);
+        assert_eq!(mbox.mi_rank, 23);
+        assert_eq!(mbox.agreement, Agreement::Contradicts);
+    }
+
+    #[test]
+    fn change_events_agreement_is_detected() {
+        // Survey: change events majority High. Evidence: rank 2 + causal.
+        let responses = generate_survey(42);
+        let mut order: Vec<Metric> = Metric::ALL.to_vec();
+        order.retain(|&m| m != Metric::ChangeEvents);
+        order.insert(1, Metric::ChangeEvents);
+        let mi = fake_mi(&order);
+        let causal = vec![fake_causal(Metric::ChangeEvents, true)];
+        let rows = compare_survey(&responses, &mi, &causal, &CausalConfig::default());
+        let ev = rows.iter().find(|r| r.practice == SurveyPractice::NumChangeEvents).unwrap();
+        assert_eq!(ev.agreement, Agreement::Agrees);
+    }
+
+    #[test]
+    fn every_surveyed_practice_gets_a_row() {
+        let responses = generate_survey(42);
+        let mi = fake_mi(&Metric::ALL);
+        let rows = compare_survey(&responses, &mi, &[], &CausalConfig::default());
+        assert_eq!(rows.len(), SurveyPractice::ALL.len());
+    }
+
+    #[test]
+    fn survey_metric_mapping_is_injective() {
+        let mut metrics: Vec<Metric> =
+            SurveyPractice::ALL.iter().map(|&p| survey_metric(p)).collect();
+        metrics.sort();
+        metrics.dedup();
+        assert_eq!(metrics.len(), SurveyPractice::ALL.len());
+    }
+}

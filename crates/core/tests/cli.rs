@@ -1,0 +1,129 @@
+//! End-to-end tests of the `mpa-cli` binary: generate → infer → analyze →
+//! predict on real files in a temp directory.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpa-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpa-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_pipeline_via_files() {
+    let dataset = tmp("dataset.json");
+    let table = tmp("table.json");
+
+    let out = cli()
+        .args(["generate", "--scale", "tiny", "--out", dataset.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dataset.exists());
+
+    let out = cli()
+        .args([
+            "infer",
+            "--dataset",
+            dataset.to_str().unwrap(),
+            "--out",
+            table.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run infer");
+    assert!(out.status.success(), "infer failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(table.exists());
+
+    let out = cli()
+        .args(["analyze", "--table", table.to_str().unwrap(), "--causal-top", "2"])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "analyze failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dependence analysis"), "{text}");
+    assert!(text.contains("causal analysis"), "{text}");
+    assert!(text.contains("No. of"), "practice names expected: {text}");
+
+    let out = cli()
+        .args(["predict", "--table", table.to_str().unwrap(), "--classes", "2"])
+        .output()
+        .expect("run predict");
+    assert!(out.status.success(), "predict failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("health prediction"), "{text}");
+    assert!(text.contains("Majority"), "{text}");
+    assert!(text.contains("decision tree"), "{text}");
+}
+
+#[test]
+fn custom_delta_changes_inference() {
+    let dataset = tmp("dataset-delta.json");
+    let t5 = tmp("table-d5.json");
+    let t30 = tmp("table-d30.json");
+
+    assert!(cli()
+        .args(["generate", "--scale", "tiny", "--out", dataset.to_str().unwrap()])
+        .status()
+        .expect("generate")
+        .success());
+    for (delta, path) in [("5", &t5), ("30", &t30)] {
+        assert!(cli()
+            .args([
+                "infer",
+                "--dataset",
+                dataset.to_str().unwrap(),
+                "--delta",
+                delta,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .status()
+            .expect("infer")
+            .success());
+    }
+    let a = std::fs::read_to_string(&t5).unwrap();
+    let b = std::fs::read_to_string(&t30).unwrap();
+    assert_ne!(a, b, "different δ must yield different event metrics");
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    let out = cli().output().expect("run bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = cli().args(["analyze"]).output().expect("run analyze without table");
+    assert!(!out.status.success());
+
+    let out = cli().args(["frobnicate"]).output().expect("unknown command");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn seed_flag_changes_the_dataset() {
+    let a = tmp("seed-a.json");
+    let b = tmp("seed-b.json");
+    for (seed, path) in [("1", &a), ("2", &b)] {
+        assert!(cli()
+            .args([
+                "generate",
+                "--scale",
+                "tiny",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .status()
+            .expect("generate")
+            .success());
+    }
+    let ja = std::fs::read_to_string(&a).unwrap();
+    let jb = std::fs::read_to_string(&b).unwrap();
+    assert_ne!(ja, jb);
+}

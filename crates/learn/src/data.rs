@@ -1,0 +1,201 @@
+//! Learning datasets: weighted instances over small categorical features.
+//!
+//! Prior to learning, MPA bins every practice metric into 5 equal-width
+//! bins and network health into 2 or 5 classes (§6.1). A feature value is
+//! therefore a small integer, which keeps decision-tree splitting exact and
+//! fast (one child per bin, no threshold search).
+
+use serde::{Deserialize, Serialize};
+
+/// One training/test example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Binned feature values; `features[j] < feature_arity[j]`.
+    pub features: Vec<u8>,
+    /// Class label, `< n_classes`.
+    pub label: u8,
+    /// Instance weight (1.0 unless reweighted by boosting/oversampling).
+    pub weight: f64,
+}
+
+/// A dataset with fixed feature arities and class count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnSet {
+    instances: Vec<Instance>,
+    feature_arity: Vec<u8>,
+    n_classes: u8,
+}
+
+/// Anything that predicts a class from binned features.
+pub trait Classifier {
+    /// Predict the class of one feature vector.
+    fn predict(&self, features: &[u8]) -> u8;
+
+    /// Predict every instance of a set.
+    fn predict_all(&self, set: &LearnSet) -> Vec<u8> {
+        set.instances().iter().map(|i| self.predict(&i.features)).collect()
+    }
+}
+
+impl LearnSet {
+    /// Build a dataset, validating feature/label ranges.
+    ///
+    /// # Panics
+    /// Panics on ragged rows, out-of-range features/labels, or non-positive
+    /// weights.
+    pub fn new(instances: Vec<Instance>, feature_arity: Vec<u8>, n_classes: u8) -> Self {
+        assert!(n_classes >= 2, "need at least two classes");
+        for inst in &instances {
+            assert_eq!(inst.features.len(), feature_arity.len(), "ragged feature row");
+            for (f, &a) in inst.features.iter().zip(&feature_arity) {
+                assert!(*f < a, "feature value {f} out of arity {a}");
+            }
+            assert!(inst.label < n_classes, "label {} out of range", inst.label);
+            assert!(inst.weight > 0.0, "weights must be positive");
+        }
+        Self { instances, feature_arity, n_classes }
+    }
+
+    /// Instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_arity.len()
+    }
+
+    /// Arity (bin count) of each feature.
+    pub fn feature_arity(&self) -> &[u8] {
+        &self.feature_arity
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> u8 {
+        self.n_classes
+    }
+
+    /// Total instance weight.
+    pub fn total_weight(&self) -> f64 {
+        self.instances.iter().map(|i| i.weight).sum()
+    }
+
+    /// Per-class weight totals.
+    pub fn class_weights(&self) -> Vec<f64> {
+        let mut w = vec![0.0; usize::from(self.n_classes)];
+        for i in &self.instances {
+            w[usize::from(i.label)] += i.weight;
+        }
+        w
+    }
+
+    /// Per-class instance counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; usize::from(self.n_classes)];
+        for i in &self.instances {
+            c[usize::from(i.label)] += 1;
+        }
+        c
+    }
+
+    /// A new set with the same schema but a subset of instances (cloned).
+    pub fn subset(&self, indices: &[usize]) -> LearnSet {
+        LearnSet {
+            instances: indices.iter().map(|&i| self.instances[i].clone()).collect(),
+            feature_arity: self.feature_arity.clone(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// A new set with the same schema and the given instances.
+    pub fn with_instances(&self, instances: Vec<Instance>) -> LearnSet {
+        LearnSet::new(instances, self.feature_arity.clone(), self.n_classes)
+    }
+
+    /// Replace every weight (used by boosting). Length must match.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        assert_eq!(weights.len(), self.instances.len(), "weight vector length");
+        for (inst, &w) in self.instances.iter_mut().zip(weights) {
+            assert!(w > 0.0, "weights must be positive");
+            inst.weight = w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn toy() -> LearnSet {
+        // label = feature0 > 1
+        let instances = (0..4u8)
+            .flat_map(|f0| {
+                (0..3u8).map(move |f1| Instance {
+                    features: vec![f0, f1],
+                    label: u8::from(f0 > 1),
+                    weight: 1.0,
+                })
+            })
+            .collect();
+        LearnSet::new(instances, vec![4, 3], 2)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = toy();
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.n_features(), 2);
+        assert_eq!(s.n_classes(), 2);
+        assert_eq!(s.total_weight(), 12.0);
+        assert_eq!(s.class_counts(), vec![6, 6]);
+        assert_eq!(s.class_weights(), vec![6.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arity")]
+    fn out_of_range_feature_panics() {
+        LearnSet::new(
+            vec![Instance { features: vec![5], label: 0, weight: 1.0 }],
+            vec![4],
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        LearnSet::new(
+            vec![Instance { features: vec![0], label: 3, weight: 1.0 }],
+            vec![4],
+            2,
+        );
+    }
+
+    #[test]
+    fn subset_preserves_schema() {
+        let s = toy();
+        let sub = s.subset(&[0, 5, 11]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.feature_arity(), s.feature_arity());
+        assert_eq!(sub.n_classes(), 2);
+    }
+
+    #[test]
+    fn set_weights_roundtrip() {
+        let mut s = toy();
+        let w: Vec<f64> = (1..=12).map(f64::from).collect();
+        s.set_weights(&w);
+        assert_eq!(s.total_weight(), 78.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Minority-class oversampling (§6.1).
+//!
+//! > "Oversampling directly addresses skew as it repeats the minority class
+//! > examples during training. When building a 2-class model we replicate
+//! > samples from the unhealthy class twice, and when building a 5-class
+//! > model we replicate samples from the poor class twice and the moderate
+//! > and good classes thrice."
+//!
+//! [`oversample`] takes a per-class replication factor: factor 1 keeps a
+//! class as-is, factor `k` makes each of its instances appear `k` times.
+
+use crate::data::{Instance, LearnSet};
+
+/// Replicate instances per class. `factors[c]` is the total number of copies
+/// of each class-`c` instance in the output (so 1 = unchanged).
+///
+/// # Panics
+/// Panics if `factors` does not cover all classes or contains a zero.
+pub fn oversample(set: &LearnSet, factors: &[usize]) -> LearnSet {
+    assert_eq!(factors.len(), usize::from(set.n_classes()), "one factor per class");
+    assert!(factors.iter().all(|&f| f >= 1), "factors must be >= 1");
+    let mut out: Vec<Instance> = Vec::new();
+    for inst in set.instances() {
+        let copies = factors[usize::from(inst.label)];
+        for _ in 0..copies {
+            out.push(inst.clone());
+        }
+    }
+    set.with_instances(out)
+}
+
+/// The paper's 2-class rule: unhealthy (class 1) replicated twice.
+pub fn oversample_2class(set: &LearnSet) -> LearnSet {
+    assert_eq!(set.n_classes(), 2, "2-class rule on a non-2-class set");
+    oversample(set, &[1, 2])
+}
+
+/// The paper's 5-class rule: good (1) and moderate (2) replicated thrice,
+/// poor (3) twice; excellent (0) and very poor (4) untouched.
+pub fn oversample_5class(set: &LearnSet) -> LearnSet {
+    assert_eq!(set.n_classes(), 5, "5-class rule on a non-5-class set");
+    oversample(set, &[1, 3, 3, 2, 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_with_counts(counts: &[usize]) -> LearnSet {
+        let mut instances = Vec::new();
+        for (label, &count) in counts.iter().enumerate() {
+            for i in 0..count {
+                instances.push(Instance {
+                    features: vec![(i % 3) as u8],
+                    label: label as u8,
+                    weight: 1.0,
+                });
+            }
+        }
+        LearnSet::new(instances, vec![3], counts.len() as u8)
+    }
+
+    #[test]
+    fn two_class_rule_doubles_unhealthy() {
+        let set = set_with_counts(&[10, 4]);
+        let over = oversample_2class(&set);
+        assert_eq!(over.class_counts(), vec![10, 8]);
+    }
+
+    #[test]
+    fn five_class_rule_matches_paper() {
+        let set = set_with_counts(&[100, 10, 8, 5, 7]);
+        let over = oversample_5class(&set);
+        assert_eq!(over.class_counts(), vec![100, 30, 24, 10, 7]);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let set = set_with_counts(&[3, 3]);
+        let over = oversample(&set, &[1, 1]);
+        assert_eq!(over.instances(), set.instances());
+    }
+
+    #[test]
+    #[should_panic(expected = "one factor per class")]
+    fn wrong_factor_count_panics() {
+        oversample(&set_with_counts(&[2, 2]), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn zero_factor_panics() {
+        oversample(&set_with_counts(&[2, 2]), &[1, 0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Linear SVM baseline (Pegasos), §6.1.
+//!
+//! "An intuitive place to start is support vector machines ... However, we
+//! found the SVMs performed worse than a simple majority classifier. This
+//! is due to unhealthy cases being concentrated in a small part of the
+//! management practice space." — the benches reproduce that comparison.
+//!
+//! Features are one-hot encoded (bin b of feature j → one indicator), which
+//! is the honest linear treatment of categorical bins; multi-class is
+//! one-vs-rest with the margin argmax.
+
+use crate::data::{Classifier, LearnSet};
+use mpa_stats::Sampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// SVM training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvmConfig {
+    /// Regularization parameter λ of Pegasos.
+    pub lambda: f64,
+    /// Number of stochastic iterations (per class).
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self { lambda: 1e-4, iterations: 50_000, seed: 0x53564D }
+    }
+}
+
+/// A trained linear one-vs-rest SVM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearSvm {
+    /// One weight vector (plus bias as last element) per class.
+    weights: Vec<Vec<f64>>,
+    /// Offsets of each feature's one-hot block.
+    offsets: Vec<usize>,
+    dim: usize,
+}
+
+impl LinearSvm {
+    /// Train with the given configuration.
+    pub fn fit(set: &LearnSet, config: SvmConfig) -> Self {
+        assert!(!set.is_empty(), "cannot train an SVM on an empty dataset");
+        let mut offsets = Vec::with_capacity(set.n_features());
+        let mut dim = 0usize;
+        for &a in set.feature_arity() {
+            offsets.push(dim);
+            dim += usize::from(a);
+        }
+
+        let n = set.len();
+        let mut weights = Vec::with_capacity(usize::from(set.n_classes()));
+        for class in 0..set.n_classes() {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ u64::from(class));
+            let mut s = Sampler::new(&mut rng);
+            let mut w = vec![0.0; dim + 1]; // +1 bias
+            for t in 1..=config.iterations {
+                let i = s.uniform_range(0, n as u64 - 1) as usize;
+                let inst = &set.instances()[i];
+                let y = if inst.label == class { 1.0 } else { -1.0 };
+                let eta = 1.0 / (config.lambda * t as f64);
+                // margin = w·x + b over the active one-hot indices.
+                let mut margin = w[dim];
+                for (j, &v) in inst.features.iter().enumerate() {
+                    margin += w[offsets[j] + usize::from(v)];
+                }
+                // Regularization shrink (not applied to bias).
+                let shrink = 1.0 - eta * config.lambda;
+                for wj in w[..dim].iter_mut() {
+                    *wj *= shrink;
+                }
+                if y * margin < 1.0 {
+                    for (j, &v) in inst.features.iter().enumerate() {
+                        w[offsets[j] + usize::from(v)] += eta * y;
+                    }
+                    w[dim] += eta * y * 0.1; // damped bias update
+                }
+            }
+            weights.push(w);
+        }
+        Self { weights, offsets, dim }
+    }
+
+    /// Train with defaults.
+    pub fn fit_default(set: &LearnSet) -> Self {
+        Self::fit(set, SvmConfig::default())
+    }
+
+    fn margin(&self, class: usize, features: &[u8]) -> f64 {
+        let w = &self.weights[class];
+        let mut m = w[self.dim];
+        for (j, &v) in features.iter().enumerate() {
+            m += w[self.offsets[j] + usize::from(v)];
+        }
+        m
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn predict(&self, features: &[u8]) -> u8 {
+        (0..self.weights.len())
+            .max_by(|&a, &b| {
+                self.margin(a, features)
+                    .partial_cmp(&self.margin(b, features))
+                    .expect("finite margins")
+            })
+            .expect("at least one class") as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Instance;
+    use crate::eval::evaluate;
+
+    #[test]
+    fn learns_a_linearly_separable_rule() {
+        let instances: Vec<Instance> = (0..5u8)
+            .flat_map(|a| {
+                std::iter::repeat_n(
+                    Instance { features: vec![a], label: u8::from(a >= 3), weight: 1.0 },
+                    20,
+                )
+            })
+            .collect();
+        let set = LearnSet::new(instances, vec![5], 2);
+        let svm = LinearSvm::fit(&set, SvmConfig { iterations: 20_000, ..SvmConfig::default() });
+        let ev = evaluate(&svm, &set);
+        assert!(ev.accuracy() > 0.95, "accuracy {}", ev.accuracy());
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let instances: Vec<Instance> = (0..3u8)
+            .flat_map(|a| {
+                std::iter::repeat_n(Instance { features: vec![a, a], label: a, weight: 1.0 }, 30)
+            })
+            .collect();
+        let set = LearnSet::new(instances, vec![3, 3], 3);
+        let svm = LinearSvm::fit_default(&set);
+        let ev = evaluate(&svm, &set);
+        assert!(ev.accuracy() > 0.95, "accuracy {}", ev.accuracy());
+    }
+
+    #[test]
+    fn struggles_when_minority_is_a_small_pocket() {
+        // The paper's observation: a linear separator cannot carve out a
+        // small pocket of unhealthy cases inside the healthy mass. The
+        // pocket (f0=2, f1=2 exactly) is not linearly separable from its
+        // neighbours in one-hot space with a dominant majority.
+        let mut instances = Vec::new();
+        for a in 0..5u8 {
+            for b in 0..5u8 {
+                let minority = a == 2 && b == 2;
+                for _ in 0..(if minority { 3 } else { 20 }) {
+                    instances.push(Instance {
+                        features: vec![a, b],
+                        label: u8::from(minority),
+                        weight: 1.0,
+                    });
+                }
+            }
+        }
+        let set = LearnSet::new(instances, vec![5, 5], 2);
+        let svm = LinearSvm::fit_default(&set);
+        let ev = evaluate(&svm, &set);
+        assert!(
+            ev.recall(1) < 0.5,
+            "linear model should miss most of the pocket, recall {}",
+            ev.recall(1)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let instances: Vec<Instance> = (0..40)
+            .map(|i| Instance { features: vec![(i % 5) as u8], label: (i % 2) as u8, weight: 1.0 })
+            .collect();
+        let set = LearnSet::new(instances, vec![5], 2);
+        let cfg = SvmConfig { iterations: 5_000, ..SvmConfig::default() };
+        assert_eq!(LinearSvm::fit(&set, cfg), LinearSvm::fit(&set, cfg));
+    }
+}

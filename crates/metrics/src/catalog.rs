@@ -1,0 +1,225 @@
+//! The practice-metric catalog: the 28 metrics of Table 1.
+//!
+//! Seventeen **design** metrics (long-term structural decisions, lines
+//! D1–D6) and eleven **operational** metrics (day-to-day change behaviour,
+//! lines O1–O4). The causal analysis treats each of the 28 in turn as a
+//! treatment with the other 27 as confounders, so the catalog order is
+//! load-bearing: it defines the column layout of every case table.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of practice metrics.
+pub const N_METRICS: usize = 28;
+
+/// Whether a metric describes design or operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricCategory {
+    /// Long-term structure and provisioning decisions.
+    Design,
+    /// Day-to-day change activity.
+    Operational,
+}
+
+impl MetricCategory {
+    /// One-letter tag used in the paper's tables ("D" / "O").
+    pub fn tag(self) -> &'static str {
+        match self {
+            MetricCategory::Design => "D",
+            MetricCategory::Operational => "O",
+        }
+    }
+}
+
+/// One of the 28 inferred practice metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    // --- design (Table 1 lines D1–D6) --------------------------------------
+    /// D1: workloads (services/user groups) hosted.
+    Workloads,
+    /// D2: devices in the network.
+    Devices,
+    /// D2: distinct vendors.
+    Vendors,
+    /// D2: distinct hardware models.
+    Models,
+    /// D2: distinct device roles.
+    Roles,
+    /// D2: distinct firmware versions.
+    FirmwareVersions,
+    /// D3: hardware heterogeneity (normalized model×role entropy).
+    HardwareEntropy,
+    /// D3: firmware heterogeneity (normalized firmware×role entropy).
+    FirmwareEntropy,
+    /// D4: distinct layer-2 protocols in use.
+    L2Protocols,
+    /// D4: distinct layer-3 routing protocols in use.
+    L3Protocols,
+    /// D4: distinct VLANs configured network-wide.
+    Vlans,
+    /// D5: BGP routing instances (transitive closure of adjacency).
+    BgpInstances,
+    /// D5: OSPF routing instances.
+    OspfInstances,
+    /// D5: mean devices per BGP instance.
+    AvgBgpInstanceSize,
+    /// D5: mean devices per OSPF instance.
+    AvgOspfInstanceSize,
+    /// D6: mean intra-device configuration references per device.
+    IntraComplexity,
+    /// D6: mean inter-device configuration references per device.
+    InterComplexity,
+    // --- operational (Table 1 lines O1–O4) -------------------------------
+    /// O1: per-device configuration changes in the month.
+    ConfigChanges,
+    /// O1: distinct devices changed in the month.
+    DevicesChanged,
+    /// O1: fraction of the network's devices changed in the month.
+    FracDevicesChanged,
+    /// O2: fraction of changes made by automation accounts.
+    FracAutomated,
+    /// O3: distinct vendor-agnostic change types touched.
+    ChangeTypes,
+    /// O4: change events (δ-grouped).
+    ChangeEvents,
+    /// O4: mean devices changed per event.
+    AvgDevicesPerEvent,
+    /// O3/O4: fraction of events including an interface change.
+    FracIfaceEvents,
+    /// O3/O4: fraction of events including an ACL change.
+    FracAclEvents,
+    /// O3/O4: fraction of events including a router change.
+    FracRouterEvents,
+    /// O4: fraction of events touching a middlebox device.
+    FracMboxEvents,
+}
+
+impl Metric {
+    /// All metrics in case-table column order.
+    pub const ALL: [Metric; N_METRICS] = [
+        Metric::Workloads,
+        Metric::Devices,
+        Metric::Vendors,
+        Metric::Models,
+        Metric::Roles,
+        Metric::FirmwareVersions,
+        Metric::HardwareEntropy,
+        Metric::FirmwareEntropy,
+        Metric::L2Protocols,
+        Metric::L3Protocols,
+        Metric::Vlans,
+        Metric::BgpInstances,
+        Metric::OspfInstances,
+        Metric::AvgBgpInstanceSize,
+        Metric::AvgOspfInstanceSize,
+        Metric::IntraComplexity,
+        Metric::InterComplexity,
+        Metric::ConfigChanges,
+        Metric::DevicesChanged,
+        Metric::FracDevicesChanged,
+        Metric::FracAutomated,
+        Metric::ChangeTypes,
+        Metric::ChangeEvents,
+        Metric::AvgDevicesPerEvent,
+        Metric::FracIfaceEvents,
+        Metric::FracAclEvents,
+        Metric::FracRouterEvents,
+        Metric::FracMboxEvents,
+    ];
+
+    /// Column index in the case table.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&m| m == self).expect("metric in catalog")
+    }
+
+    /// Category (design vs operational).
+    pub fn category(self) -> MetricCategory {
+        if self.index() < 17 {
+            MetricCategory::Design
+        } else {
+            MetricCategory::Operational
+        }
+    }
+
+    /// Human-readable name as the paper's tables print it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Workloads => "No. of workloads",
+            Metric::Devices => "No. of devices",
+            Metric::Vendors => "No. of vendors",
+            Metric::Models => "No. of models",
+            Metric::Roles => "No. of roles",
+            Metric::FirmwareVersions => "No. of firmware versions",
+            Metric::HardwareEntropy => "Hardware entropy",
+            Metric::FirmwareEntropy => "Firmware entropy",
+            Metric::L2Protocols => "No. of L2 protocols",
+            Metric::L3Protocols => "No. of L3 protocols",
+            Metric::Vlans => "No. of VLANs",
+            Metric::BgpInstances => "No. of BGP instances",
+            Metric::OspfInstances => "No. of OSPF instances",
+            Metric::AvgBgpInstanceSize => "Avg. size of a BGP instance",
+            Metric::AvgOspfInstanceSize => "Avg. size of an OSPF instance",
+            Metric::IntraComplexity => "Intra-device complexity",
+            Metric::InterComplexity => "Inter-device complexity",
+            Metric::ConfigChanges => "No. of config changes",
+            Metric::DevicesChanged => "No. of devices changed",
+            Metric::FracDevicesChanged => "Frac. devices changed",
+            Metric::FracAutomated => "Frac. changes automated",
+            Metric::ChangeTypes => "No. of change types",
+            Metric::ChangeEvents => "No. of change events",
+            Metric::AvgDevicesPerEvent => "Avg. devices changed per event",
+            Metric::FracIfaceEvents => "Frac. events w/ interface change",
+            Metric::FracAclEvents => "Frac. events w/ ACL change",
+            Metric::FracRouterEvents => "Frac. events w/ router change",
+            Metric::FracMboxEvents => "Frac. events w/ mbox change",
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.category().tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_28_distinct_metrics() {
+        assert_eq!(Metric::ALL.len(), N_METRICS);
+        let set: std::collections::BTreeSet<_> = Metric::ALL.iter().collect();
+        assert_eq!(set.len(), N_METRICS);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn category_split_is_17_design_11_operational() {
+        let design = Metric::ALL.iter().filter(|m| m.category() == MetricCategory::Design).count();
+        assert_eq!(design, 17);
+        assert_eq!(N_METRICS - design, 11);
+        assert_eq!(Metric::InterComplexity.category(), MetricCategory::Design);
+        assert_eq!(Metric::ConfigChanges.category(), MetricCategory::Operational);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_METRICS);
+    }
+
+    #[test]
+    fn display_includes_category_tag() {
+        assert_eq!(Metric::Devices.to_string(), "No. of devices (D)");
+        assert_eq!(Metric::ChangeEvents.to_string(), "No. of change events (O)");
+    }
+}

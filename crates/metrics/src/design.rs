@@ -1,0 +1,317 @@
+//! Design-practice metrics (Table 1, lines D1–D6).
+//!
+//! Composition metrics (D1–D2) come from inventory records; heterogeneity
+//! (D3) is the normalized model×role (resp. firmware×role) entropy of §2.2;
+//! data-plane and control-plane structure (D4–D6) comes from parsed
+//! configuration facts, with routing instances extracted as connected
+//! components of the "adjacent-to" relation restricted to devices running
+//! the protocol (Benson et al.'s methodology, as adopted by the paper):
+//!
+//! * **BGP** adjacency = neighbor statements resolving to managed devices
+//!   (the configuration itself declares who speaks to whom);
+//! * **OSPF** adjacency = physical links between OSPF-running devices
+//!   (OSPF neighbors are discovered, not configured).
+
+use mpa_config::facts::ConfigFacts;
+use mpa_model::{DeviceId, Link, Network, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The 17 design metric values for one network at one point in time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DesignMetrics {
+    /// D1: hosted workloads.
+    pub workloads: f64,
+    /// D2: devices.
+    pub devices: f64,
+    /// D2: distinct vendors.
+    pub vendors: f64,
+    /// D2: distinct models.
+    pub models: f64,
+    /// D2: distinct roles.
+    pub roles: f64,
+    /// D2: distinct firmware versions.
+    pub firmware_versions: f64,
+    /// D3: hardware heterogeneity entropy.
+    pub hardware_entropy: f64,
+    /// D3: firmware heterogeneity entropy.
+    pub firmware_entropy: f64,
+    /// D4: distinct L2 protocols in use.
+    pub l2_protocols: f64,
+    /// D4: distinct L3 protocols in use.
+    pub l3_protocols: f64,
+    /// D4: distinct VLANs network-wide.
+    pub vlans: f64,
+    /// D5: BGP instances.
+    pub bgp_instances: f64,
+    /// D5: OSPF instances.
+    pub ospf_instances: f64,
+    /// D5: mean BGP instance size.
+    pub avg_bgp_instance_size: f64,
+    /// D5: mean OSPF instance size.
+    pub avg_ospf_instance_size: f64,
+    /// D6: mean intra-device references per device.
+    pub intra_complexity: f64,
+    /// D6: mean inter-device references per device.
+    pub inter_complexity: f64,
+}
+
+/// BGP instances: connected components of the neighbor-reference graph over
+/// devices with a BGP process. Only references to devices in the same
+/// network count (cross-network peerings are organizational boundaries).
+pub fn bgp_instances(
+    network: &Network,
+    facts: &BTreeMap<DeviceId, ConfigFacts>,
+) -> Vec<Vec<DeviceId>> {
+    let members: BTreeSet<DeviceId> = network.devices.iter().map(|d| d.id).collect();
+    let speakers: Vec<DeviceId> = network
+        .devices
+        .iter()
+        .filter(|d| facts.get(&d.id).is_some_and(|f| f.bgp_local_as.is_some()))
+        .map(|d| d.id)
+        .collect();
+    let mut graph = Topology::new();
+    for &dev in &speakers {
+        for &peer in &facts[&dev].bgp_neighbor_devices {
+            if peer != dev && members.contains(&peer) {
+                graph.add_link(Link::new(dev, peer));
+            }
+        }
+    }
+    graph.components(&speakers)
+}
+
+/// OSPF instances: connected components of the physical topology induced on
+/// OSPF-running devices.
+pub fn ospf_instances(
+    network: &Network,
+    facts: &BTreeMap<DeviceId, ConfigFacts>,
+) -> Vec<Vec<DeviceId>> {
+    let speakers: Vec<DeviceId> = network
+        .devices
+        .iter()
+        .filter(|d| facts.get(&d.id).is_some_and(|f| f.ospf_process.is_some()))
+        .map(|d| d.id)
+        .collect();
+    let speaker_set: BTreeSet<DeviceId> = speakers.iter().copied().collect();
+    let mut induced = Topology::new();
+    for link in network.topology.links() {
+        if speaker_set.contains(&link.a) && speaker_set.contains(&link.b) {
+            induced.add_link(*link);
+        }
+    }
+    induced.components(&speakers)
+}
+
+/// Compute all design metrics for a network given per-device parsed facts.
+pub fn compute_design(network: &Network, facts: &BTreeMap<DeviceId, ConfigFacts>) -> DesignMetrics {
+    let devices = &network.devices;
+    let n = devices.len();
+
+    let vendors: BTreeSet<_> = devices.iter().map(|d| d.vendor()).collect();
+    let models: BTreeSet<_> = devices.iter().map(|d| d.model).collect();
+    let roles: BTreeSet<_> = devices.iter().map(|d| d.role).collect();
+    let firmwares: BTreeSet<_> = devices.iter().map(|d| d.firmware).collect();
+
+    // Heterogeneity: category = (model, role) resp. (firmware, role).
+    let mut hw_counts: BTreeMap<(mpa_model::DeviceModel, mpa_model::Role), usize> =
+        BTreeMap::new();
+    let mut fw_counts: BTreeMap<(mpa_model::Firmware, mpa_model::Role), usize> = BTreeMap::new();
+    for d in devices {
+        *hw_counts.entry((d.model, d.role)).or_insert(0) += 1;
+        *fw_counts.entry((d.firmware, d.role)).or_insert(0) += 1;
+    }
+    let hw_vec: Vec<usize> = hw_counts.values().copied().collect();
+    let fw_vec: Vec<usize> = fw_counts.values().copied().collect();
+
+    // Protocol usage and VLANs, network-wide.
+    let mut l2: BTreeSet<mpa_config::facts::L2Protocol> = BTreeSet::new();
+    let mut vlan_ids: BTreeSet<u16> = BTreeSet::new();
+    let mut any_bgp = false;
+    let mut any_ospf = false;
+    let mut intra_total = 0.0;
+    let mut inter_total = 0.0;
+    for d in devices {
+        if let Some(f) = facts.get(&d.id) {
+            l2.extend(f.l2_protocols.iter().copied());
+            vlan_ids.extend(f.vlan_ids.iter().copied());
+            any_bgp |= f.bgp_local_as.is_some();
+            any_ospf |= f.ospf_process.is_some();
+            intra_total += f.intra_refs as f64;
+            inter_total += f.inter_refs() as f64;
+        }
+    }
+
+    let bgp = bgp_instances(network, facts);
+    let ospf = ospf_instances(network, facts);
+    let avg_size = |instances: &[Vec<DeviceId>]| {
+        if instances.is_empty() {
+            0.0
+        } else {
+            instances.iter().map(Vec::len).sum::<usize>() as f64 / instances.len() as f64
+        }
+    };
+
+    DesignMetrics {
+        workloads: network.workloads.len() as f64,
+        devices: n as f64,
+        vendors: vendors.len() as f64,
+        models: models.len() as f64,
+        roles: roles.len() as f64,
+        firmware_versions: firmwares.len() as f64,
+        hardware_entropy: mpa_stats::normalized_entropy(&hw_vec),
+        firmware_entropy: mpa_stats::normalized_entropy(&fw_vec),
+        l2_protocols: l2.len() as f64,
+        l3_protocols: f64::from(u8::from(any_bgp) + u8::from(any_ospf)),
+        vlans: vlan_ids.len() as f64,
+        bgp_instances: bgp.len() as f64,
+        ospf_instances: ospf.len() as f64,
+        avg_bgp_instance_size: avg_size(&bgp),
+        avg_ospf_instance_size: avg_size(&ospf),
+        intra_complexity: if n > 0 { intra_total / n as f64 } else { 0.0 },
+        inter_complexity: if n > 0 { inter_total / n as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpa_model::{Device, DeviceModel, Firmware, NetworkId, NetworkPurpose, Role, Vendor, Workload};
+
+    fn dev(id: u32, role: Role, line: u16) -> Device {
+        Device {
+            id: DeviceId(id),
+            network: NetworkId(0),
+            model: DeviceModel { vendor: Vendor::Cirrus, line },
+            role,
+            firmware: Firmware { major: 1, minor: 0, patch: 0 },
+        }
+    }
+
+    fn net(devices: Vec<Device>, topology: Topology) -> Network {
+        Network {
+            id: NetworkId(0),
+            purpose: NetworkPurpose::Hosting,
+            workloads: vec![Workload { service: 1, name: "w".into() }],
+            devices,
+            topology,
+        }
+    }
+
+    fn facts_with(
+        entries: Vec<(u32, ConfigFacts)>,
+    ) -> BTreeMap<DeviceId, ConfigFacts> {
+        entries.into_iter().map(|(id, f)| (DeviceId(id), f)).collect()
+    }
+
+    fn bgp_facts(neighbors: &[u32]) -> ConfigFacts {
+        ConfigFacts {
+            bgp_local_as: Some(65_000),
+            bgp_neighbor_devices: neighbors.iter().map(|&n| DeviceId(n)).collect(),
+            ..ConfigFacts::default()
+        }
+    }
+
+    #[test]
+    fn bgp_instance_extraction_uses_neighbor_transitive_closure() {
+        // 0–1 meshed, 2–3 meshed, 4 isolated speaker: 3 instances.
+        let devices: Vec<Device> = (0..5).map(|i| dev(i, Role::Router, 7000)).collect();
+        let network = net(devices, Topology::new());
+        let facts = facts_with(vec![
+            (0, bgp_facts(&[1])),
+            (1, bgp_facts(&[0])),
+            (2, bgp_facts(&[3])),
+            (3, bgp_facts(&[2])),
+            (4, bgp_facts(&[])),
+        ]);
+        let inst = bgp_instances(&network, &facts);
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst[0], vec![DeviceId(0), DeviceId(1)]);
+        let m = compute_design(&network, &facts);
+        assert_eq!(m.bgp_instances, 3.0);
+        assert!((m.avg_bgp_instance_size - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bgp_neighbors_outside_network_are_ignored() {
+        let devices: Vec<Device> = (0..2).map(|i| dev(i, Role::Router, 7000)).collect();
+        let network = net(devices, Topology::new());
+        // Device 0 peers with a device that is not a member (id 99).
+        let facts = facts_with(vec![(0, bgp_facts(&[99])), (1, bgp_facts(&[]))]);
+        assert_eq!(bgp_instances(&network, &facts).len(), 2);
+    }
+
+    #[test]
+    fn ospf_instances_split_on_non_speaker_gap() {
+        // Chain 0–1–2–3–4; OSPF on all but 2 → two instances.
+        let devices: Vec<Device> = (0..5).map(|i| dev(i, Role::Router, 7000)).collect();
+        let mut topo = Topology::new();
+        for i in 0..4u32 {
+            topo.add_link(Link::new(DeviceId(i), DeviceId(i + 1)));
+        }
+        let network = net(devices, topo);
+        let ospf = ConfigFacts { ospf_process: Some(1), ..ConfigFacts::default() };
+        let facts = facts_with(vec![
+            (0, ospf.clone()),
+            (1, ospf.clone()),
+            (3, ospf.clone()),
+            (4, ospf),
+        ]);
+        let inst = ospf_instances(&network, &facts);
+        assert_eq!(inst.len(), 2);
+        let m = compute_design(&network, &facts);
+        assert_eq!(m.ospf_instances, 2.0);
+        assert_eq!(m.avg_ospf_instance_size, 2.0);
+    }
+
+    #[test]
+    fn heterogeneity_entropy_from_inventory() {
+        // 4 devices: 2 models × same role → entropy = 1/2 (H=1, log2 4 = 2).
+        let devices = vec![
+            dev(0, Role::Switch, 4000),
+            dev(1, Role::Switch, 4000),
+            dev(2, Role::Switch, 4010),
+            dev(3, Role::Switch, 4010),
+        ];
+        let network = net(devices, Topology::new());
+        let m = compute_design(&network, &BTreeMap::new());
+        assert!((m.hardware_entropy - 0.5).abs() < 1e-12);
+        assert_eq!(m.firmware_entropy, 0.0, "all firmware identical");
+        assert_eq!(m.models, 2.0);
+        assert_eq!(m.roles, 1.0);
+        assert_eq!(m.vendors, 1.0);
+    }
+
+    #[test]
+    fn aggregates_vlans_and_protocols_across_devices() {
+        let devices = vec![dev(0, Role::Switch, 4000), dev(1, Role::Switch, 4000)];
+        let network = net(devices, Topology::new());
+        let mut f0 = ConfigFacts::default();
+        f0.vlan_ids = [10, 20].into_iter().collect();
+        f0.l2_protocols.insert(mpa_config::facts::L2Protocol::Vlan);
+        f0.l2_protocols.insert(mpa_config::facts::L2Protocol::SpanningTree);
+        f0.intra_refs = 4;
+        let mut f1 = ConfigFacts::default();
+        f1.vlan_ids = [20, 30].into_iter().collect();
+        f1.l2_protocols.insert(mpa_config::facts::L2Protocol::Vlan);
+        f1.inter_ref_devices = vec![DeviceId(0)];
+        let facts = facts_with(vec![(0, f0), (1, f1)]);
+        let m = compute_design(&network, &facts);
+        assert_eq!(m.vlans, 3.0, "distinct union of vlan ids");
+        assert_eq!(m.l2_protocols, 2.0);
+        assert_eq!(m.l3_protocols, 0.0);
+        assert_eq!(m.intra_complexity, 2.0, "4 refs / 2 devices");
+        assert_eq!(m.inter_complexity, 0.5);
+    }
+
+    #[test]
+    fn missing_facts_degrade_gracefully() {
+        let devices = vec![dev(0, Role::Switch, 4000)];
+        let network = net(devices, Topology::new());
+        let m = compute_design(&network, &BTreeMap::new());
+        assert_eq!(m.devices, 1.0);
+        assert_eq!(m.vlans, 0.0);
+        assert_eq!(m.bgp_instances, 0.0);
+        assert_eq!(m.avg_bgp_instance_size, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Grouping device changes into change events (§2.2, line O4).
+//!
+//! > "If a configuration change on a device occurs within δ time units of a
+//! > change on another device in the same network, then we assume the
+//! > changes on both devices are part of the same change event."
+//!
+//! The heuristic is a *chain* rule: changes sorted by time, a new event
+//! starts whenever the gap to the previous change exceeds δ. Figure 3
+//! studies the sensitivity of the event count to δ ∈ {NA, 1, 2, 5, 10, 15,
+//! 30} minutes; the paper settles on δ = 5 because "operators indicated
+//! they complete most related changes within such a time window".
+
+use crate::changes::DeviceChange;
+use mpa_config::typemap::ChangeType;
+use mpa_model::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The paper's default grouping window, minutes.
+pub const DELTA_DEFAULT_MINUTES: u64 = 5;
+
+/// One change event: a maximal chain of changes with inter-change gaps ≤ δ.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChangeEvent {
+    /// Indices into the input change slice, in time order.
+    pub change_ix: Vec<usize>,
+    /// Distinct devices touched.
+    pub devices: Vec<DeviceId>,
+    /// Distinct change types touched (sorted).
+    pub types: Vec<ChangeType>,
+    /// Whether every change in the event was automated.
+    pub automated: bool,
+}
+
+impl ChangeEvent {
+    /// Number of devices changed in this event.
+    pub fn n_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the event includes a change of the given type.
+    pub fn touches(&self, t: ChangeType) -> bool {
+        self.types.binary_search(&t).is_ok()
+    }
+}
+
+/// Group a network's device changes into events with window `delta_minutes`.
+///
+/// `delta_minutes = 0` means "no grouping" (Figure 3's NA point): every
+/// device change is its own event. The input may be in any order; events
+/// are returned in time order.
+pub fn group_events(changes: &[DeviceChange], delta_minutes: u64) -> Vec<ChangeEvent> {
+    if changes.is_empty() {
+        return Vec::new();
+    }
+    // Sort indices by (time, device) for determinism.
+    let mut order: Vec<usize> = (0..changes.len()).collect();
+    order.sort_by_key(|&i| (changes[i].time, changes[i].device));
+
+    let mut events = Vec::new();
+    let mut current: Vec<usize> = vec![order[0]];
+    for w in order.windows(2) {
+        let prev = &changes[w[0]];
+        let next = &changes[w[1]];
+        let gap = next.time.abs_diff(prev.time);
+        if delta_minutes > 0 && gap <= delta_minutes {
+            current.push(w[1]);
+        } else {
+            events.push(finish_event(changes, std::mem::take(&mut current)));
+            current.push(w[1]);
+        }
+    }
+    events.push(finish_event(changes, current));
+    events
+}
+
+fn finish_event(changes: &[DeviceChange], ix: Vec<usize>) -> ChangeEvent {
+    let devices: BTreeSet<DeviceId> = ix.iter().map(|&i| changes[i].device).collect();
+    let mut types: Vec<ChangeType> =
+        ix.iter().flat_map(|&i| changes[i].types.iter().copied()).collect();
+    types.sort_unstable();
+    types.dedup();
+    let automated = ix.iter().all(|&i| changes[i].automated);
+    ChangeEvent { change_ix: ix, devices: devices.into_iter().collect(), types, automated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpa_config::snapshot::Login;
+    use mpa_model::Timestamp;
+    use proptest::prelude::*;
+
+    fn ch(dev: u32, t: u64, types: &[ChangeType], automated: bool) -> DeviceChange {
+        let mut ts = types.to_vec();
+        ts.sort_unstable();
+        DeviceChange {
+            device: DeviceId(dev),
+            time: Timestamp(t),
+            login: Login::new(if automated { "svc-netauto" } else { "alice" }),
+            automated,
+            types: ts,
+            n_stanzas: types.len().max(1),
+        }
+    }
+
+    #[test]
+    fn chain_grouping_merges_within_delta() {
+        let changes = vec![
+            ch(1, 0, &[ChangeType::Interface], false),
+            ch(2, 3, &[ChangeType::Interface], false),
+            ch(3, 6, &[ChangeType::Vlan], false),
+            // Gap of 20 > δ=5 → new event.
+            ch(1, 26, &[ChangeType::Acl], true),
+        ];
+        let events = group_events(&changes, 5);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].n_devices(), 3);
+        assert_eq!(events[0].types, vec![ChangeType::Interface, ChangeType::Vlan]);
+        assert!(!events[0].automated);
+        assert_eq!(events[1].n_devices(), 1);
+        assert!(events[1].automated);
+    }
+
+    #[test]
+    fn chaining_is_transitive_beyond_a_single_window() {
+        // 0 → 4 → 8 → 12: each hop ≤ 5 but first-to-last is 12 > 5;
+        // the chain rule still merges them all.
+        let changes: Vec<DeviceChange> = (0..4)
+            .map(|i| ch(i, u64::from(i) * 4, &[ChangeType::Interface], false))
+            .collect();
+        assert_eq!(group_events(&changes, 5).len(), 1);
+    }
+
+    #[test]
+    fn delta_zero_disables_grouping() {
+        let changes = vec![
+            ch(1, 0, &[ChangeType::Interface], false),
+            ch(2, 0, &[ChangeType::Interface], false),
+            ch(3, 1, &[ChangeType::Interface], false),
+        ];
+        assert_eq!(group_events(&changes, 0).len(), 3);
+    }
+
+    #[test]
+    fn larger_delta_never_increases_event_count() {
+        let changes: Vec<DeviceChange> = [0u64, 2, 9, 11, 30, 34, 90]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| ch(i as u32, t, &[ChangeType::Interface], false))
+            .collect();
+        let mut last = usize::MAX;
+        for delta in [0u64, 1, 2, 5, 10, 15, 30] {
+            let n = group_events(&changes, delta).len();
+            assert!(n <= last, "δ={delta}: {n} > {last}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(group_events(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let changes = vec![
+            ch(2, 50, &[ChangeType::Acl], false),
+            ch(1, 0, &[ChangeType::Interface], false),
+            ch(3, 52, &[ChangeType::Acl], false),
+        ];
+        let events = group_events(&changes, 5);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].devices, vec![DeviceId(1)]);
+        assert_eq!(events[1].n_devices(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn events_partition_the_changes(
+            times in proptest::collection::vec(0u64..10_000, 1..100),
+            delta in 0u64..40,
+        ) {
+            let changes: Vec<DeviceChange> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| ch((i % 7) as u32, t, &[ChangeType::Interface], false))
+                .collect();
+            let events = group_events(&changes, delta);
+            let mut seen: Vec<usize> = events.iter().flat_map(|e| e.change_ix.clone()).collect();
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..changes.len()).collect();
+            prop_assert_eq!(seen, expected);
+        }
+
+        #[test]
+        fn within_event_gaps_respect_delta(
+            times in proptest::collection::vec(0u64..5_000, 2..80),
+            delta in 1u64..30,
+        ) {
+            let changes: Vec<DeviceChange> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| ch(i as u32, t, &[ChangeType::Interface], false))
+                .collect();
+            for event in group_events(&changes, delta) {
+                let mut ts: Vec<u64> =
+                    event.change_ix.iter().map(|&i| changes[i].time.0).collect();
+                ts.sort_unstable();
+                for w in ts.windows(2) {
+                    prop_assert!(w[1] - w[0] <= delta);
+                }
+            }
+        }
+    }
+}

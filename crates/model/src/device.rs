@@ -1,0 +1,257 @@
+//! Devices and their hardware/software identity.
+//!
+//! Inventory records describe each device by *vendor*, *model*, *role* and
+//! *firmware version* (paper §2.1, data source 1). Those four attributes feed
+//! the design-practice metrics D2 (counts) and D3 (hardware and firmware
+//! heterogeneity entropy).
+//!
+//! Vendors here are fictional but structurally faithful: each vendor speaks
+//! one of two configuration dialects (block-keyword "IOS-like" or
+//! brace-hierarchical "JunOS-like"), which is what drives the cross-vendor
+//! change-typing quirks the paper describes in §2.2.
+
+use crate::ids::{DeviceId, NetworkId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A network equipment vendor.
+///
+/// Six vendors, matching the maximum per-network vendor count observed in the
+/// paper's Appendix A ("over 81% of networks contain devices from more than
+/// one vendor, with a maximum of 6").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vendor {
+    /// IOS-like dialect; the dominant router/switch vendor.
+    Cirrus,
+    /// JunOS-like dialect; the second router/switch vendor.
+    Junia,
+    /// IOS-like dialect; switches and firewalls.
+    Aristotle,
+    /// JunOS-like dialect; firewalls.
+    Fortima,
+    /// IOS-like dialect; load balancers and ADCs.
+    Balancio,
+    /// JunOS-like dialect; load balancers and ADCs.
+    Nettle,
+}
+
+impl Vendor {
+    /// All vendors, in a fixed order.
+    pub const ALL: [Vendor; 6] = [
+        Vendor::Cirrus,
+        Vendor::Junia,
+        Vendor::Aristotle,
+        Vendor::Fortima,
+        Vendor::Balancio,
+        Vendor::Nettle,
+    ];
+
+    /// The configuration dialect this vendor's devices speak.
+    pub fn dialect(self) -> Dialect {
+        match self {
+            Vendor::Cirrus | Vendor::Aristotle | Vendor::Balancio => Dialect::BlockKeyword,
+            Vendor::Junia | Vendor::Fortima | Vendor::Nettle => Dialect::BraceHierarchy,
+        }
+    }
+
+    /// Short lowercase name used in device hostnames and config banners.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Vendor::Cirrus => "cirrus",
+            Vendor::Junia => "junia",
+            Vendor::Aristotle => "aristotle",
+            Vendor::Fortima => "fortima",
+            Vendor::Balancio => "balancio",
+            Vendor::Nettle => "nettle",
+        }
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Configuration language family spoken by a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dialect {
+    /// Flat, keyword-introduced stanzas terminated by `!` (Cisco-IOS-like).
+    BlockKeyword,
+    /// Nested brace hierarchy (JunOS-like).
+    BraceHierarchy,
+}
+
+/// The role a device plays in its network (paper Table 1, line D2).
+///
+/// A device has exactly one role ("no single device has more than one role",
+/// Appendix A.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Layer-3 packet forwarding.
+    Router,
+    /// Layer-2 forwarding.
+    Switch,
+    /// Packet filtering middlebox.
+    Firewall,
+    /// Server-pool load balancing middlebox.
+    LoadBalancer,
+    /// Application delivery controller (TCP/SSL offload, HTTP caching, ...).
+    Adc,
+}
+
+impl Role {
+    /// All roles, in a fixed order.
+    pub const ALL: [Role; 5] =
+        [Role::Router, Role::Switch, Role::Firewall, Role::LoadBalancer, Role::Adc];
+
+    /// Whether the paper classifies this role as a middlebox
+    /// ("71% of networks contain at least one middlebox (firewall, ADC, or
+    /// load balancer)", Appendix A.1).
+    pub fn is_middlebox(self) -> bool {
+        matches!(self, Role::Firewall | Role::LoadBalancer | Role::Adc)
+    }
+
+    /// Short name used in hostnames.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Role::Router => "rtr",
+            Role::Switch => "sw",
+            Role::Firewall => "fw",
+            Role::LoadBalancer => "lb",
+            Role::Adc => "adc",
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A hardware model: a vendor's product line identified by a line number.
+///
+/// Model identity (vendor + line) is what the hardware-heterogeneity entropy
+/// metric is computed over; the catalog in `mpa-synth` assigns lines to roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Manufacturer.
+    pub vendor: Vendor,
+    /// Product line number within the vendor's catalog.
+    pub line: u16,
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.vendor, self.line)
+    }
+}
+
+/// A firmware version, `major.minor(patch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Firmware {
+    /// Major release train.
+    pub major: u8,
+    /// Minor release.
+    pub minor: u8,
+    /// Patch level.
+    pub patch: u8,
+}
+
+impl fmt::Display for Firmware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}({})", self.major, self.minor, self.patch)
+    }
+}
+
+/// A managed device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Organization-wide unique identifier.
+    pub id: DeviceId,
+    /// The network this device belongs to.
+    pub network: NetworkId,
+    /// Hardware model.
+    pub model: DeviceModel,
+    /// Role in the network.
+    pub role: Role,
+    /// Installed firmware version.
+    pub firmware: Firmware,
+}
+
+impl Device {
+    /// Manufacturer (shorthand for `self.model.vendor`).
+    #[inline]
+    pub fn vendor(&self) -> Vendor {
+        self.model.vendor
+    }
+
+    /// Configuration dialect spoken by this device.
+    #[inline]
+    pub fn dialect(&self) -> Dialect {
+        self.vendor().dialect()
+    }
+
+    /// Hostname, e.g. `net3-sw-dev42`: stable, human-readable, and unique.
+    pub fn hostname(&self) -> String {
+        format!("net{}-{}-dev{}", self.network.0, self.role.short_name(), self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vendor_has_a_dialect_and_both_dialects_occur() {
+        let mut block = 0;
+        let mut brace = 0;
+        for v in Vendor::ALL {
+            match v.dialect() {
+                Dialect::BlockKeyword => block += 1,
+                Dialect::BraceHierarchy => brace += 1,
+            }
+        }
+        assert_eq!(block, 3);
+        assert_eq!(brace, 3);
+    }
+
+    #[test]
+    fn middlebox_classification_matches_paper() {
+        assert!(!Role::Router.is_middlebox());
+        assert!(!Role::Switch.is_middlebox());
+        assert!(Role::Firewall.is_middlebox());
+        assert!(Role::LoadBalancer.is_middlebox());
+        assert!(Role::Adc.is_middlebox());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = DeviceModel { vendor: Vendor::Cirrus, line: 4500 };
+        assert_eq!(m.to_string(), "cirrus-4500");
+        let fw = Firmware { major: 15, minor: 2, patch: 3 };
+        assert_eq!(fw.to_string(), "15.2(3)");
+    }
+
+    #[test]
+    fn hostname_is_stable_and_descriptive() {
+        let d = Device {
+            id: DeviceId(42),
+            network: NetworkId(3),
+            model: DeviceModel { vendor: Vendor::Junia, line: 12 },
+            role: Role::Switch,
+            firmware: Firmware { major: 12, minor: 1, patch: 0 },
+        };
+        assert_eq!(d.hostname(), "net3-sw-dev42");
+        assert_eq!(d.dialect(), Dialect::BraceHierarchy);
+    }
+
+    #[test]
+    fn vendor_names_are_unique() {
+        let mut names: Vec<_> = Vendor::ALL.iter().map(|v| v.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Vendor::ALL.len());
+    }
+}

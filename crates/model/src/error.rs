@@ -1,0 +1,43 @@
+//! Model-layer errors.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating model entities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Month number outside 1..=12.
+    InvalidMonth {
+        /// Offending year.
+        year: u16,
+        /// Offending month value.
+        month: u8,
+    },
+    /// An entity failed structural validation.
+    Invalid(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidMonth { year, month } => {
+                write!(f, "invalid month {year:04}-{month:02}: month must be 1..=12")
+            }
+            ModelError::Invalid(msg) => write!(f, "invalid model entity: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidMonth { year: 2013, month: 13 };
+        assert!(e.to_string().contains("2013-13"));
+        let e = ModelError::Invalid("nope".into());
+        assert!(e.to_string().contains("nope"));
+    }
+}

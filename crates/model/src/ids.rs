@@ -1,0 +1,101 @@
+//! Strongly-typed identifiers.
+//!
+//! Identifiers are plain `u32` newtypes: cheap to copy, hash and sort, and
+//! impossible to mix up across entity kinds at compile time. They are dense
+//! (assigned sequentially by generators and loaders), so they double as
+//! indices into side tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index value.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense index.
+            #[inline]
+            pub const fn from_index(ix: usize) -> Self {
+                Self(ix as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a network (a managed collection of devices hosting one
+    /// or more workloads, or interconnecting other networks).
+    NetworkId,
+    "net-"
+);
+
+id_type!(
+    /// Identifier of a device, unique across the whole organization (not
+    /// merely within its network).
+    DeviceId,
+    "dev-"
+);
+
+id_type!(
+    /// Identifier of a trouble ticket.
+    TicketId,
+    "tkt-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NetworkId(7).to_string(), "net-7");
+        assert_eq!(DeviceId(0).to_string(), "dev-0");
+        assert_eq!(TicketId(123).to_string(), "tkt-123");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = DeviceId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, DeviceId(42));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        assert!(NetworkId(1) < NetworkId(2));
+        let mut v = vec![TicketId(3), TicketId(1), TicketId(2)];
+        v.sort();
+        assert_eq!(v, vec![TicketId(1), TicketId(2), TicketId(3)]);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let s = serde_json::to_string(&NetworkId(9)).unwrap();
+        assert_eq!(s, "9");
+        let back: NetworkId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, NetworkId(9));
+    }
+}

@@ -1,0 +1,44 @@
+//! # mpa-model — domain model substrate for Management Plane Analytics
+//!
+//! This crate defines the vocabulary shared by the whole MPA workspace: the
+//! entities an organization's *inventory records* describe (networks, devices,
+//! vendors, models, roles, firmware), the physical *topology* connecting
+//! devices, the *trouble tickets* an incident-management system records, and a
+//! small deterministic *calendar* for the study period.
+//!
+//! The types here are deliberately plain data: they carry no behaviour beyond
+//! construction, validation and cheap derived accessors. All analytics lives
+//! in downstream crates (`mpa-metrics`, `mpa-stats`, `mpa-core`), and all data
+//! synthesis in `mpa-synth`. Keeping the model inert makes every downstream
+//! computation testable against hand-built fixtures.
+//!
+//! ## Entity relationships
+//!
+//! ```text
+//! Organization (implicit; see mpa-synth)
+//!   └── Network (id, purpose, workloads)
+//!         ├── Device (vendor, model, role, firmware)
+//!         ├── Link   (unordered device pair)
+//!         └── Ticket (opened/resolved time, kind, devices)
+//! ```
+//!
+//! Everything is serde-serializable so datasets can be exported and re-loaded
+//! by the CLI and the reproduction harness.
+
+pub mod device;
+pub mod error;
+pub mod ids;
+pub mod inventory;
+pub mod network;
+pub mod ticket;
+pub mod time;
+pub mod topology;
+
+pub use device::{Device, DeviceModel, Firmware, Role, Vendor};
+pub use error::ModelError;
+pub use ids::{DeviceId, NetworkId, TicketId};
+pub use inventory::{Inventory, InventoryRecord};
+pub use network::{Network, NetworkPurpose, Workload};
+pub use ticket::{Ticket, TicketKind, TicketSeverity};
+pub use time::{Month, StudyPeriod, Timestamp, MINUTES_PER_DAY};
+pub use topology::{Link, Topology};

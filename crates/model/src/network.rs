@@ -1,0 +1,173 @@
+//! Networks and workloads.
+//!
+//! An organization partitions its devices across *networks*: "a collection of
+//! devices that either connects compute equipment that hosts specific
+//! workloads or connects other networks to each other or the external world"
+//! (paper §2). A *workload* is a service or a group of users.
+
+use crate::device::Device;
+use crate::ids::{DeviceId, NetworkId};
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a network exists to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkPurpose {
+    /// Hosts one or more workloads (the common case: 81% of the OSP's
+    /// networks host exactly one workload).
+    Hosting,
+    /// Connects other networks to each other or to the external world and
+    /// hosts no workload itself.
+    Interconnect,
+}
+
+/// A hosted service or user group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Workload {
+    /// Organization-wide service identifier (services are shared: two
+    /// networks may host replicas of the same service).
+    pub service: u32,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// A managed network: purpose, member devices and physical topology.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    /// Identifier.
+    pub id: NetworkId,
+    /// Why the network exists.
+    pub purpose: NetworkPurpose,
+    /// Hosted workloads (empty iff `purpose == Interconnect`).
+    pub workloads: Vec<Workload>,
+    /// Member devices.
+    pub devices: Vec<Device>,
+    /// Physical links between member devices.
+    pub topology: Topology,
+}
+
+impl Network {
+    /// Number of member devices.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Look up a member device by id (linear scan; networks are small).
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.iter().find(|d| d.id == id)
+    }
+
+    /// Whether the network contains at least one middlebox
+    /// (firewall, load balancer or ADC).
+    pub fn has_middlebox(&self) -> bool {
+        self.devices.iter().any(|d| d.role.is_middlebox())
+    }
+
+    /// Validate internal consistency: every device claims membership of this
+    /// network, ids are unique, and every topology endpoint is a member.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for d in &self.devices {
+            if d.network != self.id {
+                return Err(format!("device {} claims network {}, not {}", d.id, d.network, self.id));
+            }
+            if !seen.insert(d.id) {
+                return Err(format!("duplicate device id {}", d.id));
+            }
+        }
+        for link in self.topology.links() {
+            if !seen.contains(&link.a) || !seen.contains(&link.b) {
+                return Err(format!("link {}–{} references a non-member device", link.a, link.b));
+            }
+        }
+        if self.purpose == NetworkPurpose::Interconnect && !self.workloads.is_empty() {
+            return Err("interconnect network must not host workloads".to_string());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} devices, {:?})", self.id, self.size(), self.purpose)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceModel, Firmware, Role, Vendor};
+    use crate::topology::Link;
+
+    fn dev(id: u32, net: u32, role: Role) -> Device {
+        Device {
+            id: DeviceId(id),
+            network: NetworkId(net),
+            model: DeviceModel { vendor: Vendor::Cirrus, line: 1 },
+            role,
+            firmware: Firmware { major: 1, minor: 0, patch: 0 },
+        }
+    }
+
+    fn simple_net() -> Network {
+        let mut topo = Topology::default();
+        topo.add_link(Link::new(DeviceId(0), DeviceId(1)));
+        Network {
+            id: NetworkId(7),
+            purpose: NetworkPurpose::Hosting,
+            workloads: vec![Workload { service: 1, name: "web".into() }],
+            devices: vec![dev(0, 7, Role::Router), dev(1, 7, Role::Switch)],
+            topology: topo,
+        }
+    }
+
+    #[test]
+    fn valid_network_passes_validation() {
+        assert_eq!(simple_net().validate(), Ok(()));
+    }
+
+    #[test]
+    fn device_lookup() {
+        let n = simple_net();
+        assert!(n.device(DeviceId(1)).is_some());
+        assert!(n.device(DeviceId(99)).is_none());
+    }
+
+    #[test]
+    fn wrong_membership_fails_validation() {
+        let mut n = simple_net();
+        n.devices[0].network = NetworkId(8);
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_device_fails_validation() {
+        let mut n = simple_net();
+        n.devices.push(dev(0, 7, Role::Firewall));
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_link_fails_validation() {
+        let mut n = simple_net();
+        n.topology.add_link(Link::new(DeviceId(0), DeviceId(5)));
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn interconnect_with_workload_fails_validation() {
+        let mut n = simple_net();
+        n.purpose = NetworkPurpose::Interconnect;
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn middlebox_detection() {
+        let mut n = simple_net();
+        assert!(!n.has_middlebox());
+        n.devices.push(dev(2, 7, Role::LoadBalancer));
+        assert!(n.has_middlebox());
+    }
+}

@@ -1,0 +1,258 @@
+//! Study-period calendar.
+//!
+//! The paper's datasets cover 17 months, August 2013 through December 2014
+//! (Table 2). We model time with two types:
+//!
+//! * [`Month`] — a calendar month identified by `(year, month)`; the unit of
+//!   aggregation for every practice metric and health measure.
+//! * [`Timestamp`] — minutes since the start of the study period; the
+//!   resolution at which configuration snapshots are recorded. Minutes are
+//!   sufficient because the change-event grouping heuristic (§2.2 of the
+//!   paper) operates on windows of 1–30 minutes.
+//!
+//! The calendar is deliberately simple (no time zones, no leap seconds): the
+//! study period is a fixed, named range and all arithmetic is integral, which
+//! keeps generated datasets bit-reproducible across platforms.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Minutes in a day.
+pub const MINUTES_PER_DAY: u64 = 24 * 60;
+
+/// A calendar month, e.g. `2013-08`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Month {
+    /// Four-digit year.
+    pub year: u16,
+    /// Month of year, 1-based (1 = January).
+    pub month: u8,
+}
+
+impl Month {
+    /// Construct a month, validating `1 <= month <= 12`.
+    pub fn new(year: u16, month: u8) -> Result<Self, ModelError> {
+        if !(1..=12).contains(&month) {
+            return Err(ModelError::InvalidMonth { year, month });
+        }
+        Ok(Self { year, month })
+    }
+
+    /// Number of days in this month. February is always 28 days: the study
+    /// period (2013-08 .. 2014-12) contains no leap year, and a fixed-length
+    /// February keeps the calendar trivially correct for any synthetic range.
+    pub fn days(self) -> u8 {
+        match self.month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 => 28,
+            _ => unreachable!("validated on construction"),
+        }
+    }
+
+    /// The month immediately after this one.
+    pub fn next(self) -> Self {
+        if self.month == 12 {
+            Self { year: self.year + 1, month: 1 }
+        } else {
+            Self { year: self.year, month: self.month + 1 }
+        }
+    }
+}
+
+impl fmt::Display for Month {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+/// Minutes since the start of the study period.
+///
+/// `Timestamp` is an opaque monotonic counter; convert to a month index with
+/// [`StudyPeriod::month_of`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Minutes elapsed since the study start.
+    #[inline]
+    pub const fn minutes(self) -> u64 {
+        self.0
+    }
+
+    /// Absolute difference in minutes between two timestamps.
+    #[inline]
+    pub const fn abs_diff(self, other: Timestamp) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Timestamp advanced by `minutes`.
+    #[inline]
+    pub const fn plus_minutes(self, minutes: u64) -> Timestamp {
+        Timestamp(self.0 + minutes)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}m", self.0)
+    }
+}
+
+/// A contiguous range of months with conversion between [`Timestamp`]s and
+/// month indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyPeriod {
+    start: Month,
+    months: Vec<Month>,
+    /// `offsets[i]` = first minute of month `i`; a final sentinel holds the
+    /// total length, so `offsets.len() == months.len() + 1`.
+    offsets: Vec<u64>,
+}
+
+impl StudyPeriod {
+    /// A period of `n_months` starting at `start`.
+    pub fn new(start: Month, n_months: usize) -> Self {
+        assert!(n_months > 0, "study period must contain at least one month");
+        let mut months = Vec::with_capacity(n_months);
+        let mut offsets = Vec::with_capacity(n_months + 1);
+        let mut m = start;
+        let mut off = 0u64;
+        for _ in 0..n_months {
+            months.push(m);
+            offsets.push(off);
+            off += u64::from(m.days()) * MINUTES_PER_DAY;
+            m = m.next();
+        }
+        offsets.push(off);
+        Self { start, months, offsets }
+    }
+
+    /// The paper's study period: 17 months, 2013-08 through 2014-12.
+    pub fn paper() -> Self {
+        Self::new(Month { year: 2013, month: 8 }, 17)
+    }
+
+    /// Number of months in the period.
+    #[inline]
+    pub fn n_months(&self) -> usize {
+        self.months.len()
+    }
+
+    /// The months, in order.
+    #[inline]
+    pub fn months(&self) -> &[Month] {
+        &self.months
+    }
+
+    /// The month at index `ix` (0-based).
+    #[inline]
+    pub fn month(&self, ix: usize) -> Month {
+        self.months[ix]
+    }
+
+    /// Total length of the period in minutes.
+    #[inline]
+    pub fn total_minutes(&self) -> u64 {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    /// First minute of month `ix`.
+    #[inline]
+    pub fn month_start(&self, ix: usize) -> Timestamp {
+        Timestamp(self.offsets[ix])
+    }
+
+    /// One-past-the-last minute of month `ix`.
+    #[inline]
+    pub fn month_end(&self, ix: usize) -> Timestamp {
+        Timestamp(self.offsets[ix + 1])
+    }
+
+    /// Index of the month containing `t`, or `None` if `t` is outside the
+    /// period.
+    pub fn month_of(&self, t: Timestamp) -> Option<usize> {
+        if t.0 >= self.total_minutes() {
+            return None;
+        }
+        // offsets is sorted; partition_point finds the first offset > t.
+        let ix = self.offsets.partition_point(|&o| o <= t.0);
+        Some(ix - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_validation() {
+        assert!(Month::new(2013, 0).is_err());
+        assert!(Month::new(2013, 13).is_err());
+        assert!(Month::new(2013, 8).is_ok());
+    }
+
+    #[test]
+    fn month_days() {
+        assert_eq!(Month::new(2013, 8).unwrap().days(), 31);
+        assert_eq!(Month::new(2013, 9).unwrap().days(), 30);
+        assert_eq!(Month::new(2014, 2).unwrap().days(), 28);
+        assert_eq!(Month::new(2014, 12).unwrap().days(), 31);
+    }
+
+    #[test]
+    fn month_next_wraps_year() {
+        let dec = Month::new(2013, 12).unwrap();
+        assert_eq!(dec.next(), Month::new(2014, 1).unwrap());
+    }
+
+    #[test]
+    fn month_display() {
+        assert_eq!(Month::new(2013, 8).unwrap().to_string(), "2013-08");
+    }
+
+    #[test]
+    fn paper_period_shape() {
+        let p = StudyPeriod::paper();
+        assert_eq!(p.n_months(), 17);
+        assert_eq!(p.month(0).to_string(), "2013-08");
+        assert_eq!(p.month(16).to_string(), "2014-12");
+        // Aug 2013 .. Dec 2014 inclusive: 153 + 365 = 518 days.
+        assert_eq!(p.total_minutes(), 518 * MINUTES_PER_DAY);
+    }
+
+    #[test]
+    fn month_of_boundaries() {
+        let p = StudyPeriod::paper();
+        assert_eq!(p.month_of(Timestamp(0)), Some(0));
+        let aug_len = 31 * MINUTES_PER_DAY;
+        assert_eq!(p.month_of(Timestamp(aug_len - 1)), Some(0));
+        assert_eq!(p.month_of(Timestamp(aug_len)), Some(1));
+        assert_eq!(p.month_of(Timestamp(p.total_minutes())), None);
+        assert_eq!(p.month_of(Timestamp(p.total_minutes() - 1)), Some(16));
+    }
+
+    #[test]
+    fn month_start_end_partition_period() {
+        let p = StudyPeriod::paper();
+        for i in 0..p.n_months() {
+            assert!(p.month_start(i) < p.month_end(i));
+            if i > 0 {
+                assert_eq!(p.month_end(i - 1), p.month_start(i));
+            }
+        }
+        assert_eq!(p.month_end(16).0, p.total_minutes());
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t.plus_minutes(5), Timestamp(105));
+        assert_eq!(t.abs_diff(Timestamp(95)), 5);
+        assert_eq!(Timestamp(95).abs_diff(t), 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Pearson correlation.
+//!
+//! Appendix A reports Pearson coefficients (changes-vs-size: 0.64;
+//! automation-vs-changes: 0.23); the characterization pipeline reproduces
+//! those numbers with this function.
+
+/// Pearson product-moment correlation coefficient.
+///
+/// Returns 0.0 when either variable is constant or fewer than two pairs are
+/// given (no linear association measurable).
+///
+/// # Panics
+/// Panics if slice lengths differ.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson needs paired samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 1e-300 || syy <= 1e-300 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_variable_yields_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_pattern_is_uncorrelated() {
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        let ys = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_in_unit_interval(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&xs, &ys);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+
+        #[test]
+        fn symmetric(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..50)) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+        }
+    }
+}

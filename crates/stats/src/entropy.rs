@@ -1,0 +1,246 @@
+//! Entropy, mutual information and conditional mutual information.
+//!
+//! The paper uses:
+//!
+//! * **Normalized entropy** (§2.2, line D3) for hardware/firmware
+//!   heterogeneity: `−Σᵢⱼ pᵢⱼ log₂ pᵢⱼ / log₂ N`.
+//! * **Mutual information** (§5.1.1) between a binned practice metric and
+//!   binned network health: `MI(X;Y) = H(Y) − H(Y|X)`.
+//! * **Conditional mutual information** between practice pairs given health:
+//!   `CMI(X₁;X₂|Y) = H(X₁|Y) − H(X₁|X₂,Y)`.
+//!
+//! All quantities use base-2 logarithms (bits) and plug-in (empirical)
+//! probability estimates, matching the paper's methodology.
+
+use std::collections::BTreeMap;
+
+/// Shannon entropy (bits) of a discrete sample given as symbol indices.
+/// Returns 0.0 for an empty sample.
+pub fn entropy(xs: &[usize]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut counts: BTreeMap<usize, f64> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0.0) += 1.0;
+    }
+    let n = xs.len() as f64;
+    counts.values().map(|&c| {
+        let p = c / n;
+        -p * p.log2()
+    }).sum()
+}
+
+/// Joint entropy H(X, Y) of paired samples.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn joint_entropy(xs: &[usize], ys: &[usize]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "joint entropy needs paired samples");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut counts: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        *counts.entry((x, y)).or_insert(0.0) += 1.0;
+    }
+    let n = xs.len() as f64;
+    counts.values().map(|&c| {
+        let p = c / n;
+        -p * p.log2()
+    }).sum()
+}
+
+/// Conditional entropy H(Y|X) = H(X,Y) − H(X).
+pub fn conditional_entropy(ys: &[usize], xs: &[usize]) -> f64 {
+    (joint_entropy(xs, ys) - entropy(xs)).max(0.0)
+}
+
+/// Mutual information MI(X;Y) = H(Y) − H(Y|X), clamped to ≥ 0 against
+/// floating-point cancellation.
+pub fn mutual_information(xs: &[usize], ys: &[usize]) -> f64 {
+    (entropy(ys) - conditional_entropy(ys, xs)).max(0.0)
+}
+
+/// Conditional mutual information CMI(X₁;X₂|Y) = H(X₁|Y) − H(X₁|X₂,Y).
+///
+/// Computed via joint entropies: `H(X₁,Y) − H(Y) − H(X₁,X₂,Y) + H(X₂,Y)`.
+/// Symmetric in X₁ and X₂.
+pub fn conditional_mutual_information(x1: &[usize], x2: &[usize], ys: &[usize]) -> f64 {
+    assert_eq!(x1.len(), x2.len(), "CMI needs paired samples");
+    assert_eq!(x1.len(), ys.len(), "CMI needs paired samples");
+    if x1.is_empty() {
+        return 0.0;
+    }
+    let n = x1.len() as f64;
+    let mut c_x1y: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut c_x2y: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut c_x1x2y: BTreeMap<(usize, usize, usize), f64> = BTreeMap::new();
+    let mut c_y: BTreeMap<usize, f64> = BTreeMap::new();
+    for ((&a, &b), &y) in x1.iter().zip(x2).zip(ys) {
+        *c_x1y.entry((a, y)).or_insert(0.0) += 1.0;
+        *c_x2y.entry((b, y)).or_insert(0.0) += 1.0;
+        *c_x1x2y.entry((a, b, y)).or_insert(0.0) += 1.0;
+        *c_y.entry(y).or_insert(0.0) += 1.0;
+    }
+    let h = |total: f64, counts: &mut dyn Iterator<Item = f64>| -> f64 {
+        counts.map(|c| {
+            let p = c / total;
+            -p * p.log2()
+        }).sum()
+    };
+    let h_x1y = h(n, &mut c_x1y.values().copied());
+    let h_x2y = h(n, &mut c_x2y.values().copied());
+    let h_x1x2y = h(n, &mut c_x1x2y.values().copied());
+    let h_y = h(n, &mut c_y.values().copied());
+    (h_x1y - h_y - h_x1x2y + h_x2y).max(0.0)
+}
+
+/// Normalized entropy over category counts, the paper's heterogeneity metric
+/// (line D3): `−Σ p log₂ p / log₂ N`, where `N` is the population size
+/// (number of devices) and `p` ranges over category fractions.
+///
+/// Returns 0.0 when there is at most one device or one category: a
+/// single-model single-role network is perfectly homogeneous. A value close
+/// to 1 indicates significant heterogeneity.
+pub fn normalized_entropy(category_counts: &[usize]) -> f64 {
+    let n: usize = category_counts.iter().sum();
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let h: f64 = category_counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / nf;
+            -p * p.log2()
+        })
+        .sum();
+    h / nf.log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[3, 3, 3]), 0.0);
+        assert!((entropy(&[0, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[0, 1, 2, 3]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_identical_variables_is_their_entropy() {
+        let xs = vec![0, 0, 1, 1, 2, 2];
+        let mi = mutual_information(&xs, &xs);
+        assert!((mi - entropy(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_independent_variables_is_zero() {
+        // A full factorial of (x, y): exactly independent empirically.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        assert!(mutual_information(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let xs = vec![0, 1, 0, 2, 1, 0, 2, 2, 1, 0];
+        let ys = vec![1, 1, 0, 2, 2, 0, 2, 1, 2, 0];
+        let a = mutual_information(&xs, &ys);
+        let b = mutual_information(&ys, &xs);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_detects_nonmonotonic_dependence() {
+        // y = 1 iff x is in the middle — a dependence ANOVA-style linear
+        // methods would miss, which is the paper's argument for MI.
+        let xs: Vec<usize> = (0..300).map(|i| i % 10).collect();
+        let ys: Vec<usize> = xs.iter().map(|&x| usize::from((3..7).contains(&x))).collect();
+        assert!(mutual_information(&xs, &ys) > 0.5);
+    }
+
+    #[test]
+    fn cmi_symmetric_in_first_two_args() {
+        let x1 = vec![0, 1, 0, 2, 1, 0, 2, 2, 1, 0, 1, 2];
+        let x2 = vec![1, 1, 0, 2, 2, 0, 2, 1, 2, 0, 0, 1];
+        let y = vec![0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 0];
+        let a = conditional_mutual_information(&x1, &x2, &y);
+        let b = conditional_mutual_information(&x2, &x1, &y);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_zero_when_x1_constant() {
+        let x1 = vec![5; 10];
+        let x2 = vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0];
+        let y = vec![0, 0, 0, 1, 1, 1, 0, 0, 1, 1];
+        assert!(conditional_mutual_information(&x1, &x2, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cmi_detects_conditional_dependence() {
+        // x2 = x1 exactly: CMI(x1; x2 | y) = H(x1|y) > 0 when x1 varies
+        // within levels of y.
+        let x1 = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let y = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let cmi = conditional_mutual_information(&x1, &x1, &y);
+        assert!((cmi - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_entropy_bounds_and_cases() {
+        assert_eq!(normalized_entropy(&[]), 0.0);
+        assert_eq!(normalized_entropy(&[5]), 0.0); // one model+role: homogeneous
+        assert_eq!(normalized_entropy(&[1]), 0.0);
+        // N devices all in distinct categories: H = log2(N), metric = 1.
+        let each_own: Vec<usize> = vec![1; 8];
+        assert!((normalized_entropy(&each_own) - 1.0).abs() < 1e-12);
+        // Two categories of 4 in N=8: H = 1, log2 8 = 3 → 1/3.
+        assert!((normalized_entropy(&[4, 4]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn mi_nonnegative_and_bounded(
+            pairs in proptest::collection::vec((0usize..6, 0usize..6), 1..300)
+        ) {
+            let xs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+            let mi = mutual_information(&xs, &ys);
+            prop_assert!(mi >= 0.0);
+            prop_assert!(mi <= entropy(&xs) + 1e-9);
+            prop_assert!(mi <= entropy(&ys) + 1e-9);
+        }
+
+        #[test]
+        fn cmi_nonnegative(
+            triples in proptest::collection::vec((0usize..4, 0usize..4, 0usize..3), 1..300)
+        ) {
+            let x1: Vec<usize> = triples.iter().map(|t| t.0).collect();
+            let x2: Vec<usize> = triples.iter().map(|t| t.1).collect();
+            let y: Vec<usize> = triples.iter().map(|t| t.2).collect();
+            prop_assert!(conditional_mutual_information(&x1, &x2, &y) >= 0.0);
+        }
+
+        #[test]
+        fn normalized_entropy_in_unit_interval(
+            counts in proptest::collection::vec(0usize..50, 1..20)
+        ) {
+            let ne = normalized_entropy(&counts);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ne));
+        }
+    }
+}

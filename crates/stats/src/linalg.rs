@@ -1,0 +1,275 @@
+//! Minimal dense linear algebra: exactly what IRLS needs.
+//!
+//! A row-major [`Matrix`] with multiplication helpers and a Cholesky solver
+//! for symmetric positive-definite systems. Propensity-score models have at
+//! most a few dozen features, so an O(p³) solve is instantaneous; clarity and
+//! determinism beat sophistication here.
+
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// `Aᵀ · diag(w) · A`, the weighted Gram matrix at the heart of IRLS.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != self.rows()`.
+    pub fn weighted_gram(&self, w: &[f64]) -> Matrix {
+        assert_eq!(w.len(), self.rows, "weight vector length mismatch");
+        let p = self.cols;
+        let mut g = Matrix::zeros(p, p);
+        for r in 0..self.rows {
+            let row = &self.data[r * p..(r + 1) * p];
+            let wr = w[r];
+            if wr == 0.0 {
+                continue;
+            }
+            for i in 0..p {
+                let wi = wr * row[i];
+                for j in i..p {
+                    g[(i, j)] += wi * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..p {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// `Aᵀ · v` where `v` has one entry per row.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let vr = v[r];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * vr;
+            }
+        }
+        out
+    }
+
+    /// Solve `A·x = b` for symmetric positive-definite `A` via Cholesky,
+    /// adding a tiny ridge if the factorization stalls (near-singular Gram
+    /// matrices arise when confounders are collinear, which is exactly the
+    /// situation §5.2 warns about).
+    ///
+    /// Returns `None` only if the matrix stays non-PD after the maximum
+    /// jitter — practically impossible with the regularized IRLS caller.
+    pub fn solve_spd(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve_spd needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut jitter = 0.0;
+        for _ in 0..6 {
+            if let Some(chol) = self.cholesky(jitter) {
+                // Forward substitution L·y = b.
+                let mut y = vec![0.0; n];
+                for i in 0..n {
+                    let mut s = b[i];
+                    for j in 0..i {
+                        s -= chol[i * n + j] * y[j];
+                    }
+                    y[i] = s / chol[i * n + i];
+                }
+                // Backward substitution Lᵀ·x = y.
+                let mut x = vec![0.0; n];
+                for i in (0..n).rev() {
+                    let mut s = y[i];
+                    for j in (i + 1)..n {
+                        s -= chol[j * n + i] * x[j];
+                    }
+                    x[i] = s / chol[i * n + i];
+                }
+                return Some(x);
+            }
+            jitter = if jitter == 0.0 { 1e-10 } else { jitter * 100.0 };
+        }
+        None
+    }
+
+    /// Lower-triangular Cholesky factor of `self + jitter·I`, or `None` if a
+    /// pivot is non-positive.
+    fn cholesky(&self, jitter: f64) -> Option<Vec<f64>> {
+        let n = self.rows;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)] + if i == j { jitter } else { 0.0 };
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        Some(l)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let m = Matrix::identity(3);
+        assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+        assert_eq!(m.t_matvec(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn weighted_gram_unit_weights_is_ata() {
+        let m = Matrix::from_rows(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let g = m.weighted_gram(&[1.0, 1.0, 1.0]);
+        assert_eq!(g[(0, 0)], 2.0);
+        assert_eq!(g[(0, 1)], 1.0);
+        assert_eq!(g[(1, 0)], 1.0);
+        assert_eq!(g[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn weighted_gram_respects_weights() {
+        let m = Matrix::from_rows(2, 1, vec![1.0, 1.0]);
+        let g = m.weighted_gram(&[3.0, 5.0]);
+        assert_eq!(g[(0, 0)], 8.0);
+    }
+
+    #[test]
+    fn solve_spd_recovers_solution() {
+        // A = [[4,1],[1,3]], x = [1,2] → b = [6,7].
+        let a = Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
+        let x = a.solve_spd(&[6.0, 7.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_handles_near_singular_with_jitter() {
+        // Rank-deficient Gram matrix: columns identical.
+        let m = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let g = m.weighted_gram(&[1.0; 3]);
+        let x = g.solve_spd(&[1.0, 1.0]);
+        assert!(x.is_some(), "jitter should rescue the solve");
+        let x = x.unwrap();
+        for v in &x {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn solve_spd_larger_system() {
+        // Build SPD A = MᵀM + I and verify A·x ≈ b round trip.
+        let m = Matrix::from_rows(
+            4,
+            3,
+            vec![1.0, 2.0, 0.5, -1.0, 0.3, 2.2, 0.0, 1.5, -0.7, 2.0, -0.2, 0.1],
+        );
+        let mut a = m.weighted_gram(&[1.0; 4]);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let b = vec![1.0, -2.0, 0.5];
+        let x = a.solve_spd(&b).unwrap();
+        let back = a.matvec(&x);
+        for (bi, bb) in back.iter().zip(&b) {
+            assert!((bi - bb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_shape_mismatch_panics() {
+        Matrix::identity(2).matvec(&[1.0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! The sign test (§5.2.5).
+//!
+//! For each matched pair the outcome difference `y_treated − y_untreated` is
+//! reduced to its sign. Under the null hypothesis H₀ ("the median outcome
+//! difference is zero") the positive count among non-tied pairs is
+//! Binomial(n, ½). The paper chooses the sign test because "it makes few
+//! assumptions about the nature of the distribution, and it has been shown to
+//! be well-suited for evaluating matched design experiments", and rejects H₀
+//! at p < 0.001.
+//!
+//! We compute the **exact** two-sided binomial p-value in log-space for any
+//! n (the paper's largest comparison has n ≈ 1 400 non-tied pairs; exact
+//! summation is trivial at that size and, unlike a normal approximation,
+//! resolves tail p-values like 6.8×10⁻¹³).
+
+use crate::special::ln_choose;
+use serde::{Deserialize, Serialize};
+
+/// Result of a sign test over matched-pair outcome differences.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignTestResult {
+    /// Pairs where the treated case had the *better* outcome (fewer tickets).
+    pub n_negative: u64,
+    /// Tied pairs (no effect). Excluded from the test, reported for Table 6.
+    pub n_zero: u64,
+    /// Pairs where the treated case had the *worse* outcome (more tickets).
+    pub n_positive: u64,
+    /// Exact two-sided p-value for H₀: median difference = 0.
+    pub p_value: f64,
+}
+
+impl SignTestResult {
+    /// Whether H₀ is rejected at significance threshold `alpha`
+    /// (the paper uses `alpha = 0.001`).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// Direction of the effect if significant: `+1` means treatment leads to
+    /// more tickets (worse health), `-1` fewer, `0` if counts are tied.
+    pub fn direction(&self) -> i8 {
+        use std::cmp::Ordering::*;
+        match self.n_positive.cmp(&self.n_negative) {
+            Greater => 1,
+            Less => -1,
+            Equal => 0,
+        }
+    }
+}
+
+/// Exact two-sided sign test given the per-sign pair counts.
+///
+/// Ties (`n_zero`) are excluded, per the standard sign test. With zero
+/// non-tied pairs the p-value is 1.0 (no evidence either way).
+pub fn sign_test(n_negative: u64, n_zero: u64, n_positive: u64) -> SignTestResult {
+    let n = n_negative + n_positive;
+    let p_value = if n == 0 {
+        1.0
+    } else {
+        let k = n_negative.max(n_positive);
+        // Two-sided: 2 · P[X ≥ k], X ~ Bin(n, ½), capped at 1.
+        (2.0 * binom_sf_half(n, k)).min(1.0)
+    };
+    SignTestResult { n_negative, n_zero, n_positive, p_value }
+}
+
+/// Sign test from raw outcome differences.
+pub fn sign_test_from_diffs(diffs: &[i64]) -> SignTestResult {
+    let mut neg = 0;
+    let mut zero = 0;
+    let mut pos = 0;
+    for &d in diffs {
+        match d.cmp(&0) {
+            std::cmp::Ordering::Less => neg += 1,
+            std::cmp::Ordering::Equal => zero += 1,
+            std::cmp::Ordering::Greater => pos += 1,
+        }
+    }
+    sign_test(neg, zero, pos)
+}
+
+/// P[X ≥ k] for X ~ Binomial(n, ½), computed by log-space summation.
+/// Exact to f64 rounding for any n encountered in practice.
+fn binom_sf_half(n: u64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if k > n {
+        return 0.0;
+    }
+    let ln_half_n = -(n as f64) * std::f64::consts::LN_2;
+    // Sum from the largest term down for numerical stability; use
+    // log-sum-exp anchored at the first (largest within the tail) term.
+    let mut terms: Vec<f64> = (k..=n).map(|i| ln_choose(n, i) + ln_half_n).collect();
+    terms.sort_by(|a, b| b.partial_cmp(a).expect("finite log terms"));
+    let anchor = terms[0];
+    let sum: f64 = terms.iter().map(|t| (t - anchor).exp()).sum();
+    (anchor + sum.ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_pairs_is_inconclusive() {
+        let r = sign_test(0, 10, 0);
+        assert_eq!(r.p_value, 1.0);
+        assert!(!r.significant(0.001));
+        assert_eq!(r.direction(), 0);
+    }
+
+    #[test]
+    fn small_exact_values() {
+        // n = 10, k = 10: p = 2 · (1/2)^10 = 1/512.
+        let r = sign_test(0, 0, 10);
+        assert!((r.p_value - 2.0 / 1024.0).abs() < 1e-12);
+        assert_eq!(r.direction(), 1);
+
+        // n = 10, split 5/5: p = 2 · P[X ≥ 5] = 2 · (386/1024)... compute:
+        // P[X ≥ 5] = (252+210+120+45+10+1)/1024 = 638/1024.
+        let r = sign_test(5, 3, 5);
+        assert!((r.p_value - 1.0).abs() < 1e-12, "capped at 1, got {}", r.p_value);
+    }
+
+    #[test]
+    fn direction_reflects_majority() {
+        assert_eq!(sign_test(10, 0, 2).direction(), -1);
+        assert_eq!(sign_test(2, 0, 10).direction(), 1);
+    }
+
+    #[test]
+    fn paper_scale_tail_p_value() {
+        // Table 6, comparison 1:2: 562 fewer vs 830 more (350 ties)
+        // → p ≈ 6.8e-13. Our exact computation should land in that decade.
+        let r = sign_test(562, 350, 830);
+        assert!(r.p_value < 1e-11, "p = {}", r.p_value);
+        assert!(r.p_value > 1e-14, "p = {}", r.p_value);
+        assert!(r.significant(0.001));
+    }
+
+    #[test]
+    fn paper_scale_moderate_p_value() {
+        // Table 6, comparison 2:3: 251 fewer vs 302 more → p ≈ 3.3e-2:
+        // NOT significant at 0.001.
+        let r = sign_test(251, 61, 302);
+        assert!(r.p_value > 0.01 && r.p_value < 0.05, "p = {}", r.p_value);
+        assert!(!r.significant(0.001));
+    }
+
+    #[test]
+    fn from_diffs_counts_signs() {
+        let r = sign_test_from_diffs(&[3, -1, 0, 0, 2, -5, 7]);
+        assert_eq!(r.n_positive, 3);
+        assert_eq!(r.n_negative, 2);
+        assert_eq!(r.n_zero, 2);
+    }
+
+    #[test]
+    fn survival_function_edges() {
+        assert_eq!(binom_sf_half(10, 0), 1.0);
+        assert_eq!(binom_sf_half(10, 11), 0.0);
+        assert!((binom_sf_half(1, 1) - 0.5).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn p_value_in_unit_interval(neg in 0u64..500, zero in 0u64..100, pos in 0u64..500) {
+            let r = sign_test(neg, zero, pos);
+            prop_assert!(r.p_value > 0.0);
+            prop_assert!(r.p_value <= 1.0);
+        }
+
+        #[test]
+        fn p_value_symmetric_in_sign(neg in 0u64..200, pos in 0u64..200) {
+            let a = sign_test(neg, 0, pos);
+            let b = sign_test(pos, 0, neg);
+            prop_assert!((a.p_value - b.p_value).abs() < 1e-12);
+        }
+
+        #[test]
+        fn more_lopsided_is_more_significant(n in 4u64..200, k in 0u64..100) {
+            // With n total pairs, moving one pair from minority to majority
+            // can only decrease (or keep) the p-value.
+            let k = k.min(n / 2);
+            if k >= 1 {
+                let balanced = sign_test(k, 0, n - k);
+                let lopsided = sign_test(k - 1, 0, n - k + 1);
+                prop_assert!(lopsided.p_value <= balanced.p_value + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The hardware catalog: which vendors sell which model lines for which
+//! roles, and which firmware trains each line runs.
+//!
+//! Inventory heterogeneity in the paper's OSP is wide (Appendix A.1: >81% of
+//! networks multi-vendor with a max of 6 vendors; >96% multi-model with a
+//! max of 25 models; hardware entropy up to 0.82). The catalog is sized so
+//! those extremes are reachable: every role has at least two vendors and
+//! every vendor/role combination has several model lines.
+
+use mpa_model::{DeviceModel, Firmware, Role, Vendor};
+
+/// Vendors that sell equipment for a role, in preference order (the first
+/// entry is the organization's "standard" choice for that role).
+pub fn vendors_for_role(role: Role) -> &'static [Vendor] {
+    match role {
+        Role::Router => &[Vendor::Cirrus, Vendor::Junia],
+        Role::Switch => &[Vendor::Cirrus, Vendor::Aristotle, Vendor::Junia],
+        Role::Firewall => &[Vendor::Fortima, Vendor::Aristotle],
+        Role::LoadBalancer => &[Vendor::Balancio, Vendor::Nettle],
+        Role::Adc => &[Vendor::Nettle, Vendor::Balancio],
+    }
+}
+
+/// Model lines a vendor offers for a role. Line numbers are unique within a
+/// vendor across roles (so a model line identifies its role family), which
+/// keeps hardware-entropy computation honest: the same line never appears in
+/// two roles unless deliberately reused.
+pub fn model_lines(vendor: Vendor, role: Role) -> Vec<u16> {
+    let base: u16 = match role {
+        Role::Router => 7000,
+        Role::Switch => 4000,
+        Role::Firewall => 2000,
+        Role::LoadBalancer => 8000,
+        Role::Adc => 9000,
+    };
+    let offset = match vendor {
+        Vendor::Cirrus => 0,
+        Vendor::Junia => 100,
+        Vendor::Aristotle => 200,
+        Vendor::Fortima => 300,
+        Vendor::Balancio => 400,
+        Vendor::Nettle => 500,
+    };
+    // Four generations per vendor/role family.
+    (0..4).map(|g| base + offset + g * 10).collect()
+}
+
+/// Concrete model for a vendor/role/generation triple.
+pub fn model(vendor: Vendor, role: Role, generation: usize) -> DeviceModel {
+    let lines = model_lines(vendor, role);
+    DeviceModel { vendor, line: lines[generation % lines.len()] }
+}
+
+/// Firmware trains available for a model line (major versions; each train
+/// has several minor/patch levels).
+pub fn firmware_trains(model: DeviceModel) -> Vec<Firmware> {
+    // Train majors derive from the line so different lines run visibly
+    // different firmware families.
+    let major = (model.line / 1000) as u8 + 8;
+    (0..3)
+        .flat_map(|minor| (0..2).map(move |patch| Firmware { major, minor, patch }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_role_has_multiple_vendors() {
+        for role in Role::ALL {
+            assert!(vendors_for_role(role).len() >= 2, "{role:?}");
+        }
+    }
+
+    #[test]
+    fn model_lines_are_unique_across_vendor_role_pairs() {
+        let mut seen = std::collections::BTreeSet::new();
+        for role in Role::ALL {
+            for &vendor in vendors_for_role(role) {
+                for line in model_lines(vendor, role) {
+                    assert!(seen.insert((vendor, line)), "duplicate line {vendor:?} {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_generation_wraps() {
+        let a = model(Vendor::Cirrus, Role::Switch, 0);
+        let b = model(Vendor::Cirrus, Role::Switch, 4);
+        assert_eq!(a, b, "generation wraps modulo catalog size");
+        let c = model(Vendor::Cirrus, Role::Switch, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn firmware_trains_are_plural_and_distinct() {
+        let m = model(Vendor::Junia, Role::Router, 0);
+        let trains = firmware_trains(m);
+        assert_eq!(trains.len(), 6);
+        let set: std::collections::BTreeSet<_> = trains.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn catalog_supports_max_vendor_diversity() {
+        // A network drawing every role from every offered vendor reaches the
+        // paper's maximum of 6 vendors.
+        let mut vendors = std::collections::BTreeSet::new();
+        for role in Role::ALL {
+            for &v in vendors_for_role(role) {
+                vendors.insert(v);
+            }
+        }
+        assert_eq!(vendors.len(), 6);
+    }
+}

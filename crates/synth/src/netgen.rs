@@ -1,0 +1,621 @@
+//! Materializing a [`NetworkProfile`] into devices, topology and initial
+//! configurations.
+//!
+//! The generator works bottom-up: role mix → device records (model/firmware
+//! sampled per the profile's heterogeneity knobs) → physical topology
+//! (router chain backbone, switches and middleboxes attached) → per-device
+//! semantic configurations (links, VLANs, ACLs, routing instances, pools).
+//!
+//! Everything downstream — inventory records, config snapshots — derives
+//! from this state.
+
+use crate::catalog;
+use crate::profile::NetworkProfile;
+use mpa_config::addr::{device_loopback, pool_member_addr};
+use mpa_config::semantic::{AclRule, DeviceConfig};
+use mpa_model::{
+    Device, DeviceId, Firmware, Link, Network, NetworkPurpose, Role, Topology, Workload,
+};
+use mpa_stats::Sampler;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A generated network: the model-layer [`Network`] plus the semantic
+/// configuration of every member device and a per-device port allocator.
+#[derive(Debug, Clone)]
+pub struct GeneratedNetwork {
+    /// Inventory-facing network object.
+    pub network: Network,
+    /// Semantic config per device (the simulator mutates these).
+    pub configs: BTreeMap<DeviceId, DeviceConfig>,
+    /// Next free port number per device (ops allocate new ports from here).
+    pub next_port: BTreeMap<DeviceId, u16>,
+}
+
+/// Generate a network from its profile. `next_device_id` is the
+/// organization-wide device id allocator.
+pub fn generate_network<R: Rng>(
+    profile: &NetworkProfile,
+    next_device_id: &mut u32,
+    rng: &mut R,
+) -> GeneratedNetwork {
+    let mut s = Sampler::new(rng);
+    let net_id = profile.id;
+
+    // ---- role mix --------------------------------------------------------
+    let n = if profile.interconnect { profile.n_devices.clamp(2, 24) } else { profile.n_devices };
+    let mut roles: Vec<Role> = Vec::with_capacity(n);
+    if profile.interconnect {
+        roles.extend(std::iter::repeat_n(Role::Router, n));
+    } else {
+        // Router count is a *noisy* function of size: organizations vary in
+        // how much routing capacity they provision, so routing metrics do
+        // not deterministically encode network size.
+        let n_routers = (s.poisson(n as f64 / 10.0) as usize).clamp(1, (n / 3).max(1));
+        let (n_fw, n_lb, n_adc) = if profile.wants_middlebox() {
+            ((n / 25).max(1), (n / 30).max(1), n / 40)
+        } else {
+            (0, 0, 0)
+        };
+        let n_switches = n.saturating_sub(n_routers + n_fw + n_lb + n_adc).max(1);
+        roles.extend(std::iter::repeat_n(Role::Router, n_routers));
+        roles.extend(std::iter::repeat_n(Role::Switch, n_switches));
+        roles.extend(std::iter::repeat_n(Role::Firewall, n_fw));
+        roles.extend(std::iter::repeat_n(Role::LoadBalancer, n_lb));
+        roles.extend(std::iter::repeat_n(Role::Adc, n_adc));
+    }
+
+    // ---- per-role model palettes (heterogeneity) --------------------------
+    // For each role: how many (vendor, generation) combinations are in use.
+    let mut palettes: BTreeMap<Role, Vec<(mpa_model::Vendor, usize)>> = BTreeMap::new();
+    for role in Role::ALL {
+        if !roles.contains(&role) {
+            continue;
+        }
+        let vendors = catalog::vendors_for_role(role);
+        let max_combos = vendors.len() * 4;
+        let k = (1.0 + profile.heterogeneity * s.uniform() * (max_combos as f64 - 1.0))
+            .round()
+            .clamp(1.0, max_combos as f64) as usize;
+        let mut combos: Vec<(mpa_model::Vendor, usize)> = Vec::new();
+        // Preference order: standard vendor, generation 0 first.
+        'outer: for generation in 0..4 {
+            for &v in vendors {
+                combos.push((v, generation));
+                if combos.len() == k {
+                    break 'outer;
+                }
+            }
+        }
+        palettes.insert(role, combos);
+    }
+
+    // ---- devices -----------------------------------------------------------
+    let mut devices: Vec<Device> = Vec::with_capacity(roles.len());
+    for &role in &roles {
+        let id = DeviceId(*next_device_id);
+        *next_device_id += 1;
+        let palette = &palettes[&role];
+        // Weight toward the first (standard) combo so heterogeneity stays
+        // moderate for most networks.
+        let weights: Vec<f64> =
+            (0..palette.len()).map(|i| 1.0 / (1.0 + i as f64).powf(0.8)).collect();
+        let (vendor, generation) = palette[s.weighted_choice(&weights)];
+        let model = catalog::model(vendor, role, generation);
+        let trains = catalog::firmware_trains(model);
+        let firmware: Firmware = if s.bernoulli(profile.firmware_discipline) {
+            trains[0]
+        } else {
+            trains[s.uniform_range(0, trains.len() as u64 - 1) as usize]
+        };
+        devices.push(Device { id, network: net_id, model, role, firmware });
+    }
+
+    let routers: Vec<DeviceId> =
+        devices.iter().filter(|d| d.role == Role::Router).map(|d| d.id).collect();
+    let switches: Vec<DeviceId> =
+        devices.iter().filter(|d| d.role == Role::Switch).map(|d| d.id).collect();
+    let middleboxes: Vec<DeviceId> =
+        devices.iter().filter(|d| d.role.is_middlebox()).map(|d| d.id).collect();
+
+    // ---- topology -----------------------------------------------------------
+    let mut topology = Topology::new();
+    // Router chain backbone (a chain keeps OSPF instance separation
+    // controllable: a non-OSPF router splits the adjacency graph). Switch-
+    // only networks chain their switches instead.
+    for w in routers.windows(2) {
+        topology.add_link(Link::new(w[0], w[1]));
+    }
+    if routers.is_empty() {
+        for w in switches.windows(2) {
+            topology.add_link(Link::new(w[0], w[1]));
+        }
+    } else {
+        for &sw in &switches {
+            let r = routers[s.uniform_range(0, routers.len() as u64 - 1) as usize];
+            topology.add_link(Link::new(sw, r));
+        }
+    }
+    // Some switch-switch redundancy.
+    for i in 1..switches.len() {
+        if s.bernoulli(0.3) {
+            let j = s.uniform_range(0, i as u64 - 1) as usize;
+            topology.add_link(Link::new(switches[i], switches[j]));
+        }
+    }
+    for &mb in &middleboxes {
+        let r = routers[s.uniform_range(0, routers.len() as u64 - 1) as usize];
+        topology.add_link(Link::new(mb, r));
+    }
+
+    // ---- configs ---------------------------------------------------------------
+    let mut configs: BTreeMap<DeviceId, DeviceConfig> = BTreeMap::new();
+    let mut next_port: BTreeMap<DeviceId, u16> = BTreeMap::new();
+    let by_id: BTreeMap<DeviceId, &Device> = devices.iter().map(|d| (d.id, d)).collect();
+    for d in &devices {
+        let mut c = DeviceConfig::new(d.hostname(), d.dialect());
+        c.ntp_servers.push("192.0.2.1".into());
+        c.snmp_community = Some("ops".into());
+        let n_users = s.uniform_range(1, 3);
+        for u in 0..n_users {
+            c.add_user(format!("op{u}"), "operator");
+        }
+        configs.insert(d.id, c);
+        next_port.insert(d.id, 1);
+    }
+
+    // Link interfaces with peer descriptions on both ends.
+    let links: Vec<Link> = topology.links().copied().collect();
+    for link in &links {
+        for (end, peer) in [(link.a, link.b), (link.b, link.a)] {
+            let port = alloc_port(&mut next_port, end);
+            let peer_host = by_id[&peer].hostname();
+            configs
+                .get_mut(&end)
+                .expect("device config exists")
+                .set_description(port, format!("link to {peer_host}"));
+        }
+    }
+
+    // Access ports on switches.
+    for &sw in &switches {
+        let extra = s.uniform_range(2, 8);
+        for _ in 0..extra {
+            let port = alloc_port(&mut next_port, sw);
+            configs.get_mut(&sw).expect("exists").set_description(port, "access port");
+        }
+    }
+
+    // VLANs spread across switches (each VLAN hosted by 1–3 switches). The
+    // per-network wiring density scales member-port counts: VLAN-rich,
+    // densely-wired networks accumulate many interface→VLAN references,
+    // which is what drives the intra-device complexity metric — noisily, so
+    // complexity is a *proxy* of VLAN count rather than a copy of it.
+    if !switches.is_empty() {
+        let wiring_density = s.log_normal(0.0, 0.55);
+        for v in 0..profile.n_vlans {
+            let vlan_id = (10 + v as u16 * 10).min(4000);
+            let hosts = s.uniform_range(1, 3.min(switches.len() as u64)) as usize;
+            let host_ix = s.sample_indices(switches.len(), hosts);
+            for hi in host_ix {
+                let sw = switches[hi];
+                let cfg = configs.get_mut(&sw).expect("exists");
+                cfg.add_vlan(vlan_id);
+                let base = 1.0 + profile.n_vlans as f64 / 18.0;
+                let members = ((base * wiring_density * s.uniform_range(1, 2) as f64).round()
+                    as u64)
+                    .clamp(1, 12);
+                for _ in 0..members {
+                    let port = alloc_port(&mut next_port, sw);
+                    cfg.assign_interface_vlan(port, vlan_id);
+                }
+            }
+        }
+    }
+
+    // L2 features.
+    for d in &devices {
+        let cfg = configs.get_mut(&d.id).expect("exists");
+        match d.role {
+            Role::Switch => {
+                cfg.features.spanning_tree = profile.use_stp;
+                cfg.features.lacp = profile.use_lacp;
+                cfg.features.udld = profile.use_udld;
+                cfg.features.dhcp_relay = profile.use_dhcp_relay;
+            }
+            Role::Router => {
+                cfg.features.udld = profile.use_udld;
+            }
+            _ => {}
+        }
+    }
+
+    // ACLs: firewalls always; some switches.
+    let mut acl_seq = 0usize;
+    for d in &devices {
+        let wants_acl = match d.role {
+            Role::Firewall => true,
+            Role::Switch => s.bernoulli(0.3),
+            _ => false,
+        };
+        if !wants_acl {
+            continue;
+        }
+        let cfg = configs.get_mut(&d.id).expect("exists");
+        let n_acls = if d.role == Role::Firewall { s.uniform_range(2, 4) } else { 1 };
+        for _ in 0..n_acls {
+            let name = format!("acl-{acl_seq}");
+            acl_seq += 1;
+            let n_rules = s.uniform_range(2, 6);
+            for _ in 0..n_rules {
+                let rule = AclRule {
+                    permit: s.bernoulli(0.7),
+                    protocol: if s.bernoulli(0.8) { "tcp".into() } else { "udp".into() },
+                    port: [22, 53, 80, 123, 443, 8080][s.uniform_range(0, 5) as usize],
+                };
+                cfg.acl_add_rule(&name, rule);
+            }
+            let port = alloc_port(&mut next_port, d.id);
+            cfg.set_description(port, "filtered port");
+            cfg.apply_acl(port, &name);
+        }
+    }
+
+    // BGP: routers partitioned into instance groups; iBGP mesh (or
+    // hub-and-ring for large groups) over loopbacks within each group.
+    if profile.use_bgp && !routers.is_empty() {
+        let n_instances = profile.n_bgp_instances.clamp(1, routers.len());
+        let local_as = 65_000 + (net_id.0 % 1_000);
+        let groups = partition(&routers, n_instances);
+        for group in &groups {
+            mesh_bgp(&mut configs, group, local_as);
+        }
+        // Edge router peers externally.
+        let edge = routers[0];
+        let n_ext = s.uniform_range(1, 2);
+        for e in 0..n_ext {
+            configs.get_mut(&edge).expect("exists").bgp_add_neighbor(
+                local_as,
+                &format!("172.16.{}.{}", net_id.0 % 256, e + 1),
+                64_512 + e as u32,
+            );
+        }
+    }
+
+    // OSPF: instance separation via a gap router on the chain.
+    if profile.use_ospf && !routers.is_empty() {
+        let want_two = profile.n_ospf_instances >= 2 && routers.len() >= 4;
+        let segments: Vec<&[DeviceId]> = if want_two {
+            let cut = routers.len() / 2;
+            // Skip routers[cut]: it runs no OSPF, splitting the chain.
+            vec![&routers[..cut], &routers[cut + 1..]]
+        } else {
+            vec![&routers[..]]
+        };
+        for (gi, seg) in segments.iter().enumerate() {
+            for &r in *seg {
+                configs
+                    .get_mut(&r)
+                    .expect("exists")
+                    .ospf_advertise(1, &format!("10.{}.{gi}.0/24", net_id.0 % 200));
+            }
+        }
+    }
+
+    // Pools on load balancers and ADCs.
+    let mut pool_seq = 0usize;
+    for d in &devices {
+        if !matches!(d.role, Role::LoadBalancer | Role::Adc) {
+            continue;
+        }
+        let cfg = configs.get_mut(&d.id).expect("exists");
+        let n_pools = s.uniform_range(1, 4);
+        for _ in 0..n_pools {
+            let name = format!("pool-{pool_seq}");
+            pool_seq += 1;
+            cfg.add_pool(&name, if s.bernoulli(0.6) { "http" } else { "tcp" });
+            let n_members = s.uniform_range(2, 16);
+            let subnet = (pool_seq % 250) as u8;
+            for m in 0..n_members {
+                cfg.pool_add_member(&name, &format!("{}:{}", pool_member_addr(subnet, m as u8), 443));
+            }
+        }
+    }
+
+    // Telemetry & QoS (present on a subset; the simulator may tune them).
+    if s.bernoulli(0.5) {
+        for d in &devices {
+            if matches!(d.role, Role::Switch | Role::Router) {
+                configs.get_mut(&d.id).expect("exists").set_sflow("192.0.2.9", 2048);
+            }
+        }
+    }
+    if s.bernoulli(0.4) {
+        for d in &devices {
+            if d.role == Role::Switch {
+                configs.get_mut(&d.id).expect("exists").set_qos_class("voice", 46);
+            }
+        }
+    }
+
+    let workloads: Vec<Workload> = profile
+        .services
+        .iter()
+        .map(|&svc| Workload { service: svc, name: format!("svc-{svc}") })
+        .collect();
+
+    let network = Network {
+        id: net_id,
+        purpose: if profile.interconnect {
+            NetworkPurpose::Interconnect
+        } else {
+            NetworkPurpose::Hosting
+        },
+        workloads,
+        devices,
+        topology,
+    };
+    debug_assert_eq!(network.validate(), Ok(()));
+
+    GeneratedNetwork { network, configs, next_port }
+}
+
+fn alloc_port(next_port: &mut BTreeMap<DeviceId, u16>, dev: DeviceId) -> u16 {
+    let p = next_port.get_mut(&dev).expect("device registered");
+    let port = *p;
+    *p += 1;
+    port
+}
+
+/// Split `items` into `k` contiguous, non-empty groups (k ≤ items.len()).
+fn partition<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let k = k.clamp(1, items.len().max(1));
+    let base = items.len() / k;
+    let extra = items.len() % k;
+    let mut out = Vec::with_capacity(k);
+    let mut ix = 0;
+    for g in 0..k {
+        let len = base + usize::from(g < extra);
+        out.push(items[ix..ix + len].to_vec());
+        ix += len;
+    }
+    out
+}
+
+/// iBGP topology within one instance group: full mesh up to 5 routers,
+/// hub-and-ring beyond (keeps neighbor statements O(n), not O(n²)).
+fn mesh_bgp(configs: &mut BTreeMap<DeviceId, DeviceConfig>, group: &[DeviceId], local_as: u32) {
+    if group.len() == 1 {
+        // Single-router instance: it still runs the process.
+        configs.get_mut(&group[0]).expect("exists").enable_bgp(local_as);
+        return;
+    }
+    let pairs: Vec<(DeviceId, DeviceId)> = if group.len() <= 5 {
+        let mut v = Vec::new();
+        for i in 0..group.len() {
+            for j in (i + 1)..group.len() {
+                v.push((group[i], group[j]));
+            }
+        }
+        v
+    } else {
+        let hub = group[0];
+        let mut v: Vec<(DeviceId, DeviceId)> = group[1..].iter().map(|&r| (hub, r)).collect();
+        for w in group[1..].windows(2) {
+            v.push((w[0], w[1]));
+        }
+        v
+    };
+    for (a, b) in pairs {
+        configs
+            .get_mut(&a)
+            .expect("exists")
+            .bgp_add_neighbor(local_as, &device_loopback(b), local_as);
+        configs
+            .get_mut(&b)
+            .expect("exists")
+            .bgp_add_neighbor(local_as, &device_loopback(a), local_as);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{sample_profiles, OrgConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn org(n: usize) -> OrgConfig {
+        OrgConfig {
+            seed: 11,
+            n_networks: n,
+            n_months: 4,
+            n_services: 50,
+            missing_month_rate: 0.2,
+            noise_sigma: 0.45,
+        }
+    }
+
+    fn generate(n: usize) -> Vec<GeneratedNetwork> {
+        let cfg = org(n);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let profiles = sample_profiles(&cfg, &mut rng);
+        let mut next_id = 0u32;
+        profiles.iter().map(|p| generate_network(p, &mut next_id, &mut rng)).collect()
+    }
+
+    #[test]
+    fn networks_validate_and_have_configs_for_every_device() {
+        for g in generate(40) {
+            assert_eq!(g.network.validate(), Ok(()));
+            assert_eq!(g.configs.len(), g.network.devices.len());
+            for d in &g.network.devices {
+                let cfg = &g.configs[&d.id];
+                assert_eq!(cfg.hostname, d.hostname());
+                assert_eq!(cfg.dialect, d.dialect());
+            }
+        }
+    }
+
+    #[test]
+    fn device_ids_are_globally_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for g in generate(40) {
+            for d in &g.network.devices {
+                assert!(seen.insert(d.id), "duplicate id {:?}", d.id);
+            }
+        }
+    }
+
+    #[test]
+    fn topology_is_connected_for_hosting_networks() {
+        for g in generate(40) {
+            let ids: Vec<DeviceId> = g.network.devices.iter().map(|d| d.id).collect();
+            let comps = g.network.topology.components(&ids);
+            assert_eq!(comps.len(), 1, "network {} disconnected", g.network.id);
+        }
+    }
+
+    #[test]
+    fn bgp_instance_groups_are_disjoint_components() {
+        // Find a generated network with >1 BGP instance and check the
+        // neighbor graph splits accordingly.
+        let cfg = org(60);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let profiles = sample_profiles(&cfg, &mut rng);
+        let mut next_id = 0u32;
+        let mut checked = 0;
+        for p in &profiles {
+            let g = generate_network(p, &mut next_id, &mut rng);
+            if !p.use_bgp {
+                continue;
+            }
+            let routers: Vec<DeviceId> = g
+                .network
+                .devices
+                .iter()
+                .filter(|d| d.role == Role::Router)
+                .map(|d| d.id)
+                .collect();
+            let expected = p.n_bgp_instances.clamp(1, routers.len());
+            // Count components of the BGP neighbor graph.
+            let mut neighbor_topo = Topology::new();
+            for (&dev, cfgd) in &g.configs {
+                if let Some(bgp) = &cfgd.bgp {
+                    for ip in bgp.neighbors.keys() {
+                        if let Some(peer) = mpa_config::addr::parse_loopback(ip) {
+                            neighbor_topo.add_link(Link::new(dev, peer));
+                        }
+                    }
+                }
+            }
+            let bgp_routers: Vec<DeviceId> = routers
+                .iter()
+                .copied()
+                .filter(|r| g.configs[r].bgp.is_some())
+                .collect();
+            let comps = neighbor_topo.components(&bgp_routers);
+            assert_eq!(comps.len(), expected, "network {}", g.network.id);
+            checked += 1;
+        }
+        assert!(checked > 20, "too few BGP networks to be meaningful");
+    }
+
+    #[test]
+    fn ospf_two_instance_networks_have_split_adjacency() {
+        let cfg = org(80);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let profiles = sample_profiles(&cfg, &mut rng);
+        let mut next_id = 0u32;
+        let mut found = 0;
+        for p in &profiles {
+            let g = generate_network(p, &mut next_id, &mut rng);
+            let routers: Vec<DeviceId> = g
+                .network
+                .devices
+                .iter()
+                .filter(|d| d.role == Role::Router)
+                .map(|d| d.id)
+                .collect();
+            if !(p.use_ospf && p.n_ospf_instances >= 2 && routers.len() >= 4) {
+                continue;
+            }
+            let ospf_routers: Vec<DeviceId> =
+                routers.iter().copied().filter(|r| g.configs[r].ospf.is_some()).collect();
+            let comps = g.network.topology.components(&ospf_routers);
+            // Components computed over OSPF routers only, but connectivity
+            // may route through non-OSPF devices; use the induced subgraph.
+            let mut induced = Topology::new();
+            for l in g.network.topology.links() {
+                if ospf_routers.contains(&l.a) && ospf_routers.contains(&l.b) {
+                    induced.add_link(*l);
+                }
+            }
+            let comps_induced = induced.components(&ospf_routers);
+            assert_eq!(comps_induced.len(), 2, "network {}", g.network.id);
+            drop(comps);
+            found += 1;
+        }
+        assert!(found > 0, "no two-instance OSPF networks generated");
+    }
+
+    #[test]
+    fn heterogeneity_spreads_across_networks() {
+        let gens = generate(120);
+        let mut multi_model = 0;
+        let mut multi_vendor = 0;
+        for g in &gens {
+            let models: std::collections::BTreeSet<_> =
+                g.network.devices.iter().map(|d| d.model).collect();
+            let vendors: std::collections::BTreeSet<_> =
+                g.network.devices.iter().map(|d| d.vendor()).collect();
+            if models.len() > 1 {
+                multi_model += 1;
+            }
+            if vendors.len() > 1 {
+                multi_vendor += 1;
+            }
+        }
+        // Paper: >96% multi-model, >81% multi-vendor. Allow slack at this
+        // sample size.
+        assert!(multi_model as f64 / gens.len() as f64 > 0.85, "multi-model {multi_model}");
+        assert!(multi_vendor as f64 / gens.len() as f64 > 0.6, "multi-vendor {multi_vendor}");
+    }
+
+    #[test]
+    fn middlebox_presence_tracks_profile() {
+        let cfg = org(60);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let profiles = sample_profiles(&cfg, &mut rng);
+        let mut next_id = 0u32;
+        for p in &profiles {
+            let g = generate_network(p, &mut next_id, &mut rng);
+            assert_eq!(g.network.has_middlebox(), p.wants_middlebox(), "network {}", p.id);
+        }
+    }
+
+    #[test]
+    fn partition_covers_all_items() {
+        let items: Vec<u32> = (0..10).collect();
+        let parts = partition(&items, 3);
+        assert_eq!(parts.len(), 3);
+        let flat: Vec<u32> = parts.concat();
+        assert_eq!(flat, items);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        // k > len clamps.
+        let parts = partition(&items[..2], 5);
+        assert_eq!(parts.len(), 2);
+    }
+
+    #[test]
+    fn configs_render_and_parse_cleanly() {
+        for g in generate(15) {
+            for d in &g.network.devices {
+                let text = mpa_config::render_config(&g.configs[&d.id]);
+                let parsed = mpa_config::parse_config(&text, d.dialect())
+                    .unwrap_or_else(|e| panic!("device {} failed to parse: {e}", d.hostname()));
+                assert_eq!(parsed.hostname, d.hostname());
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Latent per-network practice profiles.
+//!
+//! A [`NetworkProfile`] is the *intent* side of the management plane: how
+//! big the network is, how heterogeneous its hardware, how active and how
+//! automated its operations. Profiles are sampled so that the population
+//! matches the paper's Appendix A characterization (targets quoted inline
+//! below); the inference pipeline never sees a profile — it must recover
+//! the practices from inventory, snapshots and tickets.
+
+use mpa_stats::Sampler;
+use mpa_model::NetworkId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Organization-level generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrgConfig {
+    /// Master seed; every derived RNG is a deterministic function of it.
+    pub seed: u64,
+    /// Number of networks to generate (the paper's OSP has 850+).
+    pub n_networks: usize,
+    /// Study length in months (the paper covers 17).
+    pub n_months: usize,
+    /// Number of distinct services workloads are drawn from (paper: O(100)).
+    pub n_services: usize,
+    /// Probability that a network-month's logging is incomplete and the
+    /// case must be dropped (yields ≈11K cases from 850×17 in the paper).
+    pub missing_month_rate: f64,
+    /// σ of the per-network log-normal health noise multiplier. Governs how
+    /// predictable health is from practices (calibrated so decision-tree
+    /// accuracy lands near the paper's 91%/81%).
+    pub noise_sigma: f64,
+}
+
+/// Semantic operation families the simulator can perform. The per-network
+/// mix over these drives the operational-practice metrics (change types,
+/// fraction of events with an interface/ACL/router change, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Tweak an interface (description revision, MTU).
+    IfaceTweak,
+    /// Move a port between VLANs / add a port to a VLAN.
+    VlanMembership,
+    /// Create or delete a VLAN.
+    VlanLifecycle,
+    /// Add or remove an ACL rule.
+    AclEdit,
+    /// Add or remove a load-balancer pool member.
+    PoolResize,
+    /// Add or remove a local user account.
+    UserChurn,
+    /// Add or remove a BGP peering.
+    BgpPeering,
+    /// Advertise an additional OSPF network.
+    OspfAdvertise,
+    /// Adjust the sFlow sampling rate.
+    SflowTune,
+    /// Adjust a QoS class marking.
+    QosTune,
+}
+
+impl OpKind {
+    /// All operation kinds, fixed order.
+    pub const ALL: [OpKind; 10] = [
+        OpKind::IfaceTweak,
+        OpKind::VlanMembership,
+        OpKind::VlanLifecycle,
+        OpKind::AclEdit,
+        OpKind::PoolResize,
+        OpKind::UserChurn,
+        OpKind::BgpPeering,
+        OpKind::OspfAdvertise,
+        OpKind::SflowTune,
+        OpKind::QosTune,
+    ];
+
+    /// Relative propensity for this operation to be executed by automation
+    /// rather than a human. The paper observes pool changes are the most
+    /// automated, followed by ACL and interface changes, and that
+    /// sflow/QoS changes are the most automated *types* (Appendix A.2).
+    pub fn automation_bias(self) -> f64 {
+        match self {
+            OpKind::PoolResize => 1.6,
+            OpKind::SflowTune | OpKind::QosTune => 1.9,
+            OpKind::AclEdit => 1.2,
+            OpKind::IfaceTweak => 1.0,
+            OpKind::VlanMembership | OpKind::VlanLifecycle => 0.8,
+            OpKind::UserChurn => 0.6,
+            OpKind::BgpPeering | OpKind::OspfAdvertise => 0.5,
+        }
+    }
+}
+
+/// The latent profile of one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Network id.
+    pub id: NetworkId,
+    /// Whether the network only interconnects others (≈5% of networks; the
+    /// paper: "a handful of networks do not host any workloads").
+    pub interconnect: bool,
+    /// Hosted service ids (empty for interconnect networks; 81% host one).
+    pub services: Vec<u32>,
+    /// Total device count.
+    pub n_devices: usize,
+    /// Heterogeneity appetite in `[0, 1]`: 0 → single model per role,
+    /// 1 → models drawn freely across vendors and generations.
+    pub heterogeneity: f64,
+    /// Firmware discipline in `[0, 1]`: 1 → a single firmware version per
+    /// model; lower values spread devices across trains.
+    pub firmware_discipline: f64,
+    /// Network-wide VLAN count (heavy-tailed; paper: <5 VLANs in 5% of
+    /// networks, >100 in 9%).
+    pub n_vlans: usize,
+    /// Layer-2 feature toggles (beyond VLANs).
+    pub use_stp: bool,
+    /// Link aggregation enabled.
+    pub use_lacp: bool,
+    /// UDLD enabled.
+    pub use_udld: bool,
+    /// DHCP relay enabled.
+    pub use_dhcp_relay: bool,
+    /// Whether BGP runs (paper: 86% of networks).
+    pub use_bgp: bool,
+    /// Number of BGP instances (39% of BGP networks have one; 8% > 20).
+    pub n_bgp_instances: usize,
+    /// Whether OSPF runs (paper: 31% of networks).
+    pub use_ospf: bool,
+    /// Number of OSPF instances (1–2).
+    pub n_ospf_instances: usize,
+    /// Mean change events per month (10th pctile network ≈ 3, 90th ≈ 34).
+    pub activity: f64,
+    /// Fraction of changes performed by automation accounts (10%–70%).
+    pub automation: f64,
+    /// Mix over operation kinds (non-negative weights; zero = op unused).
+    pub op_weights: Vec<(OpKind, f64)>,
+    /// Mean devices touched per change event, ≥ 1 (most events touch 1–2).
+    pub event_size_mean: f64,
+    /// Mean planned-maintenance tickets per month (excluded from health).
+    pub maintenance_rate: f64,
+    /// Per-network latent health-noise multiplier (log-normal, mean ≈ 1);
+    /// represents everything the 28 metrics do not capture.
+    pub noise: f64,
+}
+
+impl NetworkProfile {
+    /// Weight of one op kind (0.0 if unused).
+    pub fn op_weight(&self, kind: OpKind) -> f64 {
+        self.op_weights.iter().find(|(k, _)| *k == kind).map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Whether the network contains middleboxes (derived: pool ops only make
+    /// sense with load balancers; netgen adds LB/ADC devices iff this holds).
+    pub fn wants_middlebox(&self) -> bool {
+        self.op_weight(OpKind::PoolResize) > 0.0
+    }
+}
+
+/// Sample all network profiles for an organization.
+pub fn sample_profiles<R: Rng>(cfg: &OrgConfig, rng: &mut R) -> Vec<NetworkProfile> {
+    (0..cfg.n_networks).map(|ix| sample_profile(cfg, NetworkId::from_index(ix), rng)).collect()
+}
+
+fn sample_profile<R: Rng>(cfg: &OrgConfig, id: NetworkId, rng: &mut R) -> NetworkProfile {
+    let mut s = Sampler::new(rng);
+
+    let interconnect = s.bernoulli(0.04);
+    let services = if interconnect {
+        Vec::new()
+    } else if s.bernoulli(0.81) {
+        // Paper: 81% of networks host exactly one workload.
+        vec![s.uniform_range(0, cfg.n_services as u64 - 1) as u32]
+    } else {
+        let k = s.uniform_range(2, 3) as usize;
+        (0..k).map(|_| s.uniform_range(0, cfg.n_services as u64 - 1) as u32).collect()
+    };
+
+    // Size: a mixture of many small service pods and fewer large
+    // aggregation fabrics — Fig 12(a) shows networks past 300 devices.
+    // The bimodality matters downstream: size is the strongest health
+    // driver, and the gap between the modes is what separates
+    // clearly-healthy from clearly-unhealthy networks (without it, most
+    // cases sit in the Poisson-ambiguous zone and no model could reach the
+    // paper's 91.6% two-class accuracy).
+    let n_devices = if s.bernoulli(0.62) {
+        (2.0 + s.log_normal(1.5, 0.6)).round().clamp(2.0, 600.0) as usize
+    } else {
+        (2.0 + s.log_normal(3.7, 0.7)).round().clamp(2.0, 600.0) as usize
+    };
+
+    let heterogeneity = s.uniform().powf(1.3); // skew toward homogeneous
+    let firmware_discipline = 1.0 - s.uniform().powf(2.5);
+
+    // VLANs: heavy tail (none on pure interconnects).
+    let n_vlans = if interconnect {
+        0
+    } else {
+        s.log_normal(2.8, 1.3).round().clamp(1.0, 400.0) as usize
+    };
+
+    // L2/L3 protocol usage: calibrated so the per-network protocol count
+    // spreads roughly uniformly over 1..8 (Fig 11(b)) and routing matches
+    // Appendix A (BGP 86%, OSPF 31%).
+    let use_stp = !interconnect && s.bernoulli(0.6);
+    let use_lacp = s.bernoulli(0.5);
+    let use_udld = s.bernoulli(0.4);
+    let use_dhcp_relay = !interconnect && s.bernoulli(0.35);
+    let use_bgp = if interconnect { true } else { s.bernoulli(0.85) };
+    let use_ospf = s.bernoulli(0.31);
+
+    let n_bgp_instances = if !use_bgp {
+        0
+    } else if s.bernoulli(0.39) {
+        1
+    } else {
+        // Heavy tail: ~8% of BGP networks exceed 20 instances.
+        (1.0 + s.log_normal(1.0, 1.1)).round().clamp(2.0, 60.0) as usize
+    };
+    let n_ospf_instances = if use_ospf { s.uniform_range(1, 2) as usize } else { 0 };
+
+    // Activity: log-normal with median ≈ 9 events/month; correlated with
+    // size (Pearson ≈ 0.6 for changes-vs-size, Fig 12(a)).
+    let size_z = ((n_devices as f64).ln() - 2.4) / 1.1;
+    let activity = (0.6 * size_z * 1.0 + s.normal(2.2, 0.95)).exp().clamp(0.3, 400.0);
+
+    // Automation: wide spread, weakly related to anything else.
+    let automation = s.normal(0.42, 0.2).clamp(0.05, 0.9);
+
+    // Operation mix. Diversity (how many op kinds are active) grows with
+    // activity: busy networks touch more kinds of configuration. This is
+    // what makes "fraction of events with an interface change" confounded
+    // with (but, in the ground truth, not a cause of) health: quiet networks
+    // sit at extreme interface fractions, busy diverse networks in the
+    // middle (Fig 4(c)'s non-monotonic shape).
+    let wants_middlebox = !interconnect && s.bernoulli(0.71);
+    let mut candidates: Vec<(OpKind, f64)> = vec![
+        (OpKind::IfaceTweak, 0.40),
+        (OpKind::VlanMembership, 0.15),
+        (OpKind::VlanLifecycle, 0.05),
+        (OpKind::AclEdit, 0.14),
+        (OpKind::UserChurn, 0.08),
+        (OpKind::BgpPeering, if use_bgp { 0.06 } else { 0.0 }),
+        (OpKind::OspfAdvertise, if use_ospf { 0.02 } else { 0.0 }),
+        (OpKind::PoolResize, if wants_middlebox { 0.22 } else { 0.0 }),
+        (OpKind::SflowTune, 0.03),
+        (OpKind::QosTune, 0.03),
+    ];
+    if interconnect {
+        // Interconnects do not shuffle VLAN ports.
+        for (k, w) in &mut candidates {
+            if matches!(k, OpKind::VlanMembership | OpKind::VlanLifecycle) {
+                *w = 0.0;
+            }
+        }
+    }
+    // ~5% of networks are router-change-heavy (Fig 12(c): >0.5 of changes
+    // are router changes in about 5% of networks).
+    if use_bgp && s.bernoulli(0.05) {
+        for (k, w) in &mut candidates {
+            if *k == OpKind::BgpPeering {
+                *w = 1.2;
+            }
+        }
+    }
+    // Activity-linked diversity: low-activity networks keep only a few ops.
+    let act_pct = ((activity.ln() - 2.2) / 0.9).clamp(-2.0, 2.0); // ≈ z-score
+    let keep = (3.0 + 2.2 * (act_pct + 2.0)).round() as usize; // 3..=12 kinds
+    let mut active: Vec<(OpKind, f64)> =
+        candidates.iter().copied().filter(|(_, w)| *w > 0.0).collect();
+    // Randomize which kinds are dropped, biased to keep high-weight kinds.
+    while active.len() > keep.max(2) {
+        let weights: Vec<f64> = active.iter().map(|(_, w)| 1.0 / (w + 0.05)).collect();
+        let drop_ix = s.weighted_choice(&weights);
+        active.remove(drop_ix);
+    }
+    // Per-network jitter on weights.
+    let op_weights: Vec<(OpKind, f64)> = active
+        .into_iter()
+        .map(|(k, w)| (k, w * s.log_normal(0.0, 0.45)))
+        .collect();
+
+    // Event size: half of the networks average ≤2 devices per event
+    // (Fig 13(a)); a tail averages up to ~9. The wide σ keeps per-device
+    // change counts from being a near-deterministic function of event
+    // counts, which matters for the causal analysis' positivity.
+    let event_size_mean = 1.0 + s.log_normal(-0.2, 1.0).clamp(0.0, 8.0);
+
+    let maintenance_rate = 0.15 + 0.012 * activity.min(60.0);
+
+    let noise = s.log_normal(0.0, cfg.noise_sigma);
+
+    NetworkProfile {
+        id,
+        interconnect,
+        services,
+        n_devices,
+        heterogeneity,
+        firmware_discipline,
+        n_vlans,
+        use_stp,
+        use_lacp,
+        use_udld,
+        use_dhcp_relay,
+        use_bgp,
+        n_bgp_instances,
+        use_ospf,
+        n_ospf_instances,
+        activity,
+        automation,
+        op_weights,
+        event_size_mean,
+        maintenance_rate,
+        noise,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn org() -> OrgConfig {
+        OrgConfig {
+            seed: 7,
+            n_networks: 600,
+            n_months: 17,
+            n_services: 120,
+            missing_month_rate: 0.2,
+            noise_sigma: 0.45,
+        }
+    }
+
+    fn profiles() -> Vec<NetworkProfile> {
+        let cfg = org();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        sample_profiles(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn population_matches_appendix_a_targets() {
+        let ps = profiles();
+        let n = ps.len() as f64;
+
+        let frac = |pred: &dyn Fn(&NetworkProfile) -> bool| {
+            ps.iter().filter(|p| pred(p)).count() as f64 / n
+        };
+
+        // ~5% interconnect; hosting networks mostly single-workload.
+        let interconnect = frac(&|p| p.interconnect);
+        assert!((0.02..0.09).contains(&interconnect), "interconnect {interconnect}");
+        let single = ps.iter().filter(|p| p.services.len() == 1).count() as f64
+            / ps.iter().filter(|p| !p.interconnect).count() as f64;
+        assert!((0.75..0.88).contains(&single), "single-workload {single}");
+
+        // BGP ≈ 86%, OSPF ≈ 31%.
+        let bgp = frac(&|p| p.use_bgp);
+        assert!((0.80..0.92).contains(&bgp), "bgp {bgp}");
+        let ospf = frac(&|p| p.use_ospf);
+        assert!((0.25..0.37).contains(&ospf), "ospf {ospf}");
+
+        // BGP instance counts: sizable single-instance share, heavy tail.
+        let bgp_nets: Vec<_> = ps.iter().filter(|p| p.use_bgp).collect();
+        let one = bgp_nets.iter().filter(|p| p.n_bgp_instances == 1).count() as f64
+            / bgp_nets.len() as f64;
+        assert!((0.30..0.50).contains(&one), "single-instance {one}");
+        let over20 = bgp_nets.iter().filter(|p| p.n_bgp_instances > 20).count() as f64
+            / bgp_nets.len() as f64;
+        assert!((0.01..0.15).contains(&over20), "over-20 {over20}");
+    }
+
+    #[test]
+    fn size_distribution_is_heavy_tailed() {
+        let ps = profiles();
+        let mut sizes: Vec<f64> = ps.iter().map(|p| p.n_devices as f64).collect();
+        sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sizes[sizes.len() / 2];
+        assert!((6.0..20.0).contains(&median), "median size {median}");
+        assert!(*sizes.last().unwrap() > 100.0, "tail exists");
+        // Total device count lands at the paper's O(10K) for 850 networks
+        // (scaled here: 600 networks → proportionally smaller).
+        let total: f64 = sizes.iter().sum();
+        assert!(total > 4_000.0 && total < 30_000.0, "total {total}");
+    }
+
+    #[test]
+    fn activity_percentiles_match_fig12e() {
+        let ps = profiles();
+        let mut acts: Vec<f64> = ps.iter().map(|p| p.activity).collect();
+        acts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p10 = acts[acts.len() / 10];
+        let p90 = acts[acts.len() * 9 / 10];
+        // Paper: 10th percentile ≈ 3 events, 90th ≈ 34.
+        assert!((1.0..7.0).contains(&p10), "p10 {p10}");
+        assert!((20.0..70.0).contains(&p90), "p90 {p90}");
+    }
+
+    #[test]
+    fn automation_is_diverse() {
+        let ps = profiles();
+        let lo = ps.iter().filter(|p| p.automation < 0.25).count();
+        let hi = ps.iter().filter(|p| p.automation > 0.5).count();
+        assert!(lo > 0 && hi > 0, "automation spread missing: lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn op_mix_diversity_tracks_activity() {
+        let ps = profiles();
+        let quiet_avg: f64 = {
+            let quiet: Vec<_> = ps.iter().filter(|p| p.activity < 4.0).collect();
+            quiet.iter().map(|p| p.op_weights.len() as f64).sum::<f64>() / quiet.len() as f64
+        };
+        let busy_avg: f64 = {
+            let busy: Vec<_> = ps.iter().filter(|p| p.activity > 30.0).collect();
+            busy.iter().map(|p| p.op_weights.len() as f64).sum::<f64>() / busy.len() as f64
+        };
+        assert!(
+            busy_avg > quiet_avg + 1.0,
+            "busy networks should use more op kinds: quiet {quiet_avg}, busy {busy_avg}"
+        );
+    }
+
+    #[test]
+    fn middlebox_flag_consistency() {
+        for p in profiles() {
+            assert_eq!(p.wants_middlebox(), p.op_weight(OpKind::PoolResize) > 0.0);
+        }
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let cfg = org();
+        let mut r1 = StdRng::seed_from_u64(cfg.seed);
+        let mut r2 = StdRng::seed_from_u64(cfg.seed);
+        assert_eq!(sample_profiles(&cfg, &mut r1), sample_profiles(&cfg, &mut r2));
+    }
+}

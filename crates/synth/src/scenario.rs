@@ -1,0 +1,222 @@
+//! Scenario presets and the end-to-end generation pipeline.
+//!
+//! [`Scenario::paper`] reproduces the paper's scale (850+ networks over the
+//! Aug 2013 – Dec 2014 period); the smaller presets keep tests and criterion
+//! benches fast while exercising identical code paths.
+
+use crate::dataset::Dataset;
+use crate::health::HealthModel;
+use crate::netgen::generate_network;
+use crate::ops::{archive_snapshots, simulate_network, SimConfig};
+use crate::profile::{sample_profiles, OrgConfig};
+use mpa_config::{Archive, UserDirectory};
+use mpa_model::{Inventory, InventoryRecord, Month, StudyPeriod};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A named generation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Organization-level knobs.
+    pub org: OrgConfig,
+    /// Ground-truth health model.
+    pub health: HealthModel,
+}
+
+impl Scenario {
+    /// The paper's scale: 860 networks × 17 months (Aug 2013 – Dec 2014).
+    pub fn paper() -> Self {
+        Self {
+            org: OrgConfig {
+                seed: 0x4D50_4131, // "MPA1"
+                n_networks: 860,
+                n_months: 17,
+                n_services: 120,
+                missing_month_rate: 0.21,
+                noise_sigma: 0.15,
+            },
+            health: HealthModel::default(),
+        }
+    }
+
+    /// A mid-size fixture: enough cases for stable statistics, fast enough
+    /// for integration tests and benches (≈220 networks × 10 months).
+    pub fn medium() -> Self {
+        Self {
+            org: OrgConfig {
+                seed: 0x4D50_4132,
+                n_networks: 220,
+                n_months: 10,
+                n_services: 60,
+                missing_month_rate: 0.2,
+                noise_sigma: 0.15,
+            },
+            health: HealthModel::default(),
+        }
+    }
+
+    /// A small fixture for unit-level integration (≈48 networks × 5 months).
+    pub fn small() -> Self {
+        Self {
+            org: OrgConfig {
+                seed: 0x4D50_4133,
+                n_networks: 48,
+                n_months: 5,
+                n_services: 30,
+                missing_month_rate: 0.15,
+                noise_sigma: 0.15,
+            },
+            health: HealthModel::default(),
+        }
+    }
+
+    /// The smallest useful fixture (12 networks × 3 months).
+    pub fn tiny() -> Self {
+        Self {
+            org: OrgConfig {
+                seed: 0x4D50_4134,
+                n_networks: 12,
+                n_months: 3,
+                n_services: 12,
+                missing_month_rate: 0.1,
+                noise_sigma: 0.15,
+            },
+            health: HealthModel::default(),
+        }
+    }
+
+    /// Override the seed (e.g., for robustness checks across datasets).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.org.seed = seed;
+        self
+    }
+
+    /// Generate the full dataset: profiles → networks → 17-month simulation
+    /// → archive/tickets/coverage/ground-truth.
+    pub fn generate(&self) -> Dataset {
+        let period = StudyPeriod::new(Month::new(2013, 8).expect("valid"), self.org.n_months);
+        let mut rng = StdRng::seed_from_u64(self.org.seed);
+        let profiles = sample_profiles(&self.org, &mut rng);
+
+        let mut next_device_id = 0u32;
+        let mut ticket_seq = 0u32;
+        let mut networks = Vec::with_capacity(profiles.len());
+        let mut inventory_records = Vec::new();
+        let mut archive = Archive::new();
+        let mut tickets = Vec::new();
+        let mut coverage = std::collections::BTreeSet::new();
+        let mut ground_truth = Vec::new();
+
+        let sim = SimConfig { missing_month_rate: self.org.missing_month_rate };
+        for profile in &profiles {
+            let mut gen = generate_network(profile, &mut next_device_id, &mut rng);
+            let out = simulate_network(
+                &mut gen,
+                profile,
+                &period,
+                &self.health,
+                sim,
+                &mut ticket_seq,
+                &mut rng,
+            );
+            for d in &gen.network.devices {
+                let site = format!("dc{}/r{}", d.network.0 % 8, d.id.0 % 40);
+                inventory_records.push(InventoryRecord::from_device(d, site));
+            }
+            archive_snapshots(&mut archive, out.snapshots);
+            tickets.extend(out.tickets);
+            for t in &out.truth {
+                if t.logged {
+                    coverage.insert((t.network, t.month));
+                }
+            }
+            ground_truth.extend(out.truth);
+            networks.push(gen.network);
+        }
+
+        let directory =
+            UserDirectory::new(["svc-netauto".to_string(), "svc-deploy".to_string()]);
+
+        Dataset {
+            period,
+            networks,
+            inventory: Inventory::new(inventory_records),
+            archive,
+            tickets,
+            directory,
+            coverage,
+            ground_truth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpa_model::TicketKind;
+
+    #[test]
+    fn tiny_scenario_generates_a_consistent_dataset() {
+        let ds = Scenario::tiny().generate();
+        assert_eq!(ds.networks.len(), 12);
+        assert_eq!(ds.period.n_months(), 3);
+        for n in &ds.networks {
+            assert_eq!(n.validate(), Ok(()));
+        }
+        assert_eq!(
+            ds.inventory.n_devices(),
+            ds.networks.iter().map(|n| n.size()).sum::<usize>()
+        );
+        // Ground truth covers every network-month.
+        assert_eq!(ds.ground_truth.len(), 12 * 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::tiny().generate();
+        let b = Scenario::tiny().generate();
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.ground_truth.len(), b.ground_truth.len());
+        assert_eq!(format!("{:?}", a.ground_truth[5]), format!("{:?}", b.ground_truth[5]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Scenario::tiny().generate();
+        let b = Scenario::tiny().with_seed(99).generate();
+        assert_ne!(a.summary().tickets, b.summary().tickets);
+    }
+
+    #[test]
+    fn small_scenario_has_healthy_majority() {
+        // Sanity on the calibration direction: most network-months should
+        // be low-ticket (the skew the paper fights in §6).
+        let ds = Scenario::small().generate();
+        let mut monthly_counts = std::collections::BTreeMap::new();
+        for t in &ds.tickets {
+            if t.kind == TicketKind::PlannedMaintenance {
+                continue;
+            }
+            let month = ds.period.month_of(t.opened).expect("in period");
+            *monthly_counts.entry((t.network, month)).or_insert(0u32) += 1;
+        }
+        let total = ds.networks.len() * ds.period.n_months();
+        let healthy = total - monthly_counts.values().filter(|&&c| c > 1).count();
+        let frac = healthy as f64 / total as f64;
+        assert!(
+            (0.5..0.85).contains(&frac),
+            "healthy (≤1 ticket) fraction should be majority-but-skewed: {frac}"
+        );
+    }
+
+    #[test]
+    fn ticket_ids_are_unique() {
+        let ds = Scenario::tiny().generate();
+        let mut ids: Vec<_> = ds.tickets.iter().map(|t| t.id).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,290 @@
+//! The operator survey (paper §3.1, Figure 2).
+//!
+//! 51 operators — 45 recruited via the NANOG list, 4 from a campus network,
+//! 2 from the OSP — rated how much each of eleven practices matters to their
+//! networks' health. Figure 2's headline findings: clear consensus in just
+//! one case (number of change events, rated high-impact), a roughly even
+//! low-vs-high split for several others (network size, models,
+//! inter-device complexity), a majority-low rating for ACL-change fraction
+//! (which the causal analysis later contradicts), and a majority-high rating
+//! for middlebox-change fraction (which the MI ranking contradicts).
+//!
+//! The generator reproduces those response *counts* exactly and assigns them
+//! to concrete respondents deterministically from a seed.
+
+use mpa_stats::Sampler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The practices the survey asked about (Figure 2's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SurveyPractice {
+    /// Number of devices.
+    NumDevices,
+    /// Number of hardware models.
+    NumModels,
+    /// Number of firmware versions.
+    NumFirmwareVersions,
+    /// Number of protocols.
+    NumProtocols,
+    /// Inter-device configuration complexity.
+    InterDeviceComplexity,
+    /// Number of change events.
+    NumChangeEvents,
+    /// Average devices changed per event.
+    AvgDevicesPerEvent,
+    /// Fraction of events with a middlebox change.
+    FracMboxChange,
+    /// Fraction of events automated.
+    FracAutomated,
+    /// Fraction of events with a router change.
+    FracRouterChange,
+    /// Fraction of events with an ACL change.
+    FracAclChange,
+}
+
+impl SurveyPractice {
+    /// All surveyed practices, in Figure 2's order.
+    pub const ALL: [SurveyPractice; 11] = [
+        SurveyPractice::NumDevices,
+        SurveyPractice::NumModels,
+        SurveyPractice::NumFirmwareVersions,
+        SurveyPractice::NumProtocols,
+        SurveyPractice::InterDeviceComplexity,
+        SurveyPractice::NumChangeEvents,
+        SurveyPractice::AvgDevicesPerEvent,
+        SurveyPractice::FracMboxChange,
+        SurveyPractice::FracAutomated,
+        SurveyPractice::FracRouterChange,
+        SurveyPractice::FracAclChange,
+    ];
+
+    /// Display label matching the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            SurveyPractice::NumDevices => "No. of devices",
+            SurveyPractice::NumModels => "No. of models",
+            SurveyPractice::NumFirmwareVersions => "No. of firmware versions",
+            SurveyPractice::NumProtocols => "No. of protocols",
+            SurveyPractice::InterDeviceComplexity => "Inter-device complexity",
+            SurveyPractice::NumChangeEvents => "No. of change events",
+            SurveyPractice::AvgDevicesPerEvent => "Avg. devices changed/event",
+            SurveyPractice::FracMboxChange => "Frac. events w/ mbox change",
+            SurveyPractice::FracAutomated => "Frac. events automated",
+            SurveyPractice::FracRouterChange => "Frac. events w/ router change",
+            SurveyPractice::FracAclChange => "Frac. events w/ ACL change",
+        }
+    }
+
+    /// Published response counts `[no, low, medium, high, not-sure]`
+    /// (sums to 51; read off Figure 2).
+    pub fn response_counts(self) -> [usize; 5] {
+        match self {
+            SurveyPractice::NumDevices => [2, 15, 14, 17, 3],
+            SurveyPractice::NumModels => [3, 16, 14, 15, 3],
+            SurveyPractice::NumFirmwareVersions => [2, 13, 17, 16, 3],
+            SurveyPractice::NumProtocols => [2, 14, 18, 14, 3],
+            SurveyPractice::InterDeviceComplexity => [1, 15, 13, 18, 4],
+            SurveyPractice::NumChangeEvents => [1, 4, 12, 32, 2],
+            SurveyPractice::AvgDevicesPerEvent => [2, 12, 18, 14, 5],
+            SurveyPractice::FracMboxChange => [1, 8, 14, 25, 3],
+            SurveyPractice::FracAutomated => [2, 10, 16, 20, 3],
+            SurveyPractice::FracRouterChange => [1, 10, 16, 21, 3],
+            SurveyPractice::FracAclChange => [4, 24, 12, 8, 3],
+        }
+    }
+}
+
+/// A respondent's opinion of one practice's impact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ImpactOpinion {
+    /// No impact on health.
+    NoImpact,
+    /// Low impact.
+    Low,
+    /// Medium impact.
+    Medium,
+    /// High impact.
+    High,
+    /// Not sure.
+    NotSure,
+}
+
+impl ImpactOpinion {
+    /// All opinion levels, in Figure 2's legend order.
+    pub const ALL: [ImpactOpinion; 5] = [
+        ImpactOpinion::NoImpact,
+        ImpactOpinion::Low,
+        ImpactOpinion::Medium,
+        ImpactOpinion::High,
+        ImpactOpinion::NotSure,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ImpactOpinion::NoImpact => "No impact",
+            ImpactOpinion::Low => "Low impact",
+            ImpactOpinion::Medium => "Medium impact",
+            ImpactOpinion::High => "High impact",
+            ImpactOpinion::NotSure => "Not sure",
+        }
+    }
+}
+
+/// Where a respondent was recruited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RespondentSource {
+    /// NANOG mailing list (45 respondents).
+    Nanog,
+    /// The authors' campus network (4).
+    Campus,
+    /// The studied OSP (2).
+    Osp,
+}
+
+/// One operator's full questionnaire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SurveyResponse {
+    /// Respondent index (0..51).
+    pub respondent: usize,
+    /// Recruitment source.
+    pub source: RespondentSource,
+    /// One opinion per practice, in [`SurveyPractice::ALL`] order.
+    pub opinions: Vec<ImpactOpinion>,
+}
+
+/// Number of survey respondents.
+pub const N_RESPONDENTS: usize = 51;
+
+/// Generate the 51 responses. Aggregate counts per practice match
+/// [`SurveyPractice::response_counts`] exactly; the assignment of opinions
+/// to individual respondents is shuffled deterministically from `seed`.
+pub fn generate_survey(seed: u64) -> Vec<SurveyResponse> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut s = Sampler::new(&mut rng);
+
+    let mut per_practice: Vec<Vec<ImpactOpinion>> = Vec::new();
+    for p in SurveyPractice::ALL {
+        let counts = p.response_counts();
+        let mut column: Vec<ImpactOpinion> = Vec::with_capacity(N_RESPONDENTS);
+        for (level, &count) in ImpactOpinion::ALL.iter().zip(&counts) {
+            column.extend(std::iter::repeat_n(*level, count));
+        }
+        debug_assert_eq!(column.len(), N_RESPONDENTS);
+        s.shuffle(&mut column);
+        per_practice.push(column);
+    }
+
+    (0..N_RESPONDENTS)
+        .map(|r| SurveyResponse {
+            respondent: r,
+            source: match r {
+                0..=44 => RespondentSource::Nanog,
+                45..=48 => RespondentSource::Campus,
+                _ => RespondentSource::Osp,
+            },
+            opinions: per_practice.iter().map(|col| col[r]).collect(),
+        })
+        .collect()
+}
+
+/// Aggregate a survey back into Figure 2's per-practice counts.
+pub fn tally(responses: &[SurveyResponse]) -> Vec<(SurveyPractice, [usize; 5])> {
+    SurveyPractice::ALL
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| {
+            let mut counts = [0usize; 5];
+            for r in responses {
+                let level = r.opinions[pi];
+                let li = ImpactOpinion::ALL.iter().position(|&l| l == level).expect("level");
+                counts[li] += 1;
+            }
+            (p, counts)
+        })
+        .collect()
+}
+
+/// The majority (modal) opinion for a practice, ignoring "not sure".
+pub fn majority_opinion(responses: &[SurveyResponse], practice: SurveyPractice) -> ImpactOpinion {
+    let pi = SurveyPractice::ALL.iter().position(|&p| p == practice).expect("known practice");
+    let mut counts = [0usize; 4];
+    for r in responses {
+        match r.opinions[pi] {
+            ImpactOpinion::NoImpact => counts[0] += 1,
+            ImpactOpinion::Low => counts[1] += 1,
+            ImpactOpinion::Medium => counts[2] += 1,
+            ImpactOpinion::High => counts[3] += 1,
+            ImpactOpinion::NotSure => {}
+        }
+    }
+    let best = counts.iter().enumerate().max_by_key(|(_, &c)| c).expect("non-empty").0;
+    ImpactOpinion::ALL[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_51_for_every_practice() {
+        for p in SurveyPractice::ALL {
+            let total: usize = p.response_counts().iter().sum();
+            assert_eq!(total, N_RESPONDENTS, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn generated_survey_matches_published_counts_exactly() {
+        let responses = generate_survey(42);
+        assert_eq!(responses.len(), N_RESPONDENTS);
+        for (p, counts) in tally(&responses) {
+            assert_eq!(counts, p.response_counts(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn respondent_sources_match_recruitment() {
+        let responses = generate_survey(42);
+        let nanog = responses.iter().filter(|r| r.source == RespondentSource::Nanog).count();
+        let campus = responses.iter().filter(|r| r.source == RespondentSource::Campus).count();
+        let osp = responses.iter().filter(|r| r.source == RespondentSource::Osp).count();
+        assert_eq!((nanog, campus, osp), (45, 4, 2));
+    }
+
+    #[test]
+    fn consensus_only_for_change_events() {
+        // "We see clear consensus in just one case — number of change
+        // events": >60% of respondents rate it high.
+        let responses = generate_survey(42);
+        for p in SurveyPractice::ALL {
+            let counts = p.response_counts();
+            let high_frac = counts[3] as f64 / N_RESPONDENTS as f64;
+            if p == SurveyPractice::NumChangeEvents {
+                assert!(high_frac > 0.6, "{p:?} {high_frac}");
+            } else {
+                assert!(high_frac < 0.55, "{p:?} {high_frac}");
+            }
+        }
+        assert_eq!(
+            majority_opinion(&responses, SurveyPractice::NumChangeEvents),
+            ImpactOpinion::High
+        );
+    }
+
+    #[test]
+    fn acl_majority_is_low_and_mbox_majority_is_high() {
+        // The two opinions the paper's analysis contradicts.
+        let responses = generate_survey(42);
+        assert_eq!(majority_opinion(&responses, SurveyPractice::FracAclChange), ImpactOpinion::Low);
+        assert_eq!(majority_opinion(&responses, SurveyPractice::FracMboxChange), ImpactOpinion::High);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(generate_survey(1), generate_survey(1));
+        assert_ne!(generate_survey(1), generate_survey(2));
+    }
+}

@@ -1,0 +1,91 @@
+//! Causal deep-dive: the full quasi-experimental design for one practice.
+//!
+//! ```text
+//! cargo run --release --example causal_study [metric-index]
+//! ```
+//!
+//! Walks the four QED steps of paper §5.2 for a chosen treatment practice —
+//! treatment binning, propensity matching, balance verification, sign test —
+//! and prints every intermediate artifact, then checks the verdict against
+//! the generator's ground truth (something the paper could never do with
+//! production data).
+
+use mpa::prelude::*;
+use mpa::synth::HealthModel;
+
+fn main() {
+    let metric_ix: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0);
+
+    let dataset = Scenario::medium().generate();
+    let table = infer_case_table(&dataset);
+    println!("case table: {} cases", table.n_cases());
+
+    // Pick the treatment: by default the strongest-MI practice.
+    let ranking = mi_ranking(&table, 30);
+    let treatment = ranking[metric_ix.min(ranking.len() - 1)].metric;
+    println!("treatment practice: {} (MI rank {})\n", treatment.name(), metric_ix + 1);
+
+    let cfg = CausalConfig::default();
+    let analysis = analyze_treatment(&table, treatment, &cfg);
+
+    println!("{:<8} {:>9} {:>8} {:>7} {:>10} {:>12} {:>8}", "point", "untreated", "treated", "pairs", "reused", "p-value", "verdict");
+    for c in &analysis.comparisons {
+        let p = c.p_value().map_or("-".to_string(), |p| format!("{p:.2e}"));
+        let verdict = if c.n_pairs == 0 {
+            "thin"
+        } else if !c.balanced(&cfg) {
+            "imbal."
+        } else if c.causal(&cfg) {
+            "CAUSAL"
+        } else {
+            "-"
+        };
+        println!(
+            "{:<8} {:>9} {:>8} {:>7} {:>10} {:>12} {:>8}",
+            format!("{}:{}", c.point.0, c.point.1),
+            c.n_untreated,
+            c.n_treated,
+            c.n_pairs,
+            c.n_untreated_matched,
+            p,
+            verdict,
+        );
+        if !c.imbalanced.is_empty() {
+            let worst: Vec<String> = c
+                .imbalanced
+                .iter()
+                .take(3)
+                .map(|(m, d)| format!("{} ({d:+.2})", m.name()))
+                .collect();
+            println!("         imbalanced confounders: {}", worst.join(", "));
+        }
+        if let Some(sign) = &c.sign {
+            println!(
+                "         outcomes: {} fewer / {} no-effect / {} more tickets",
+                sign.n_negative, sign.n_zero, sign.n_positive
+            );
+        }
+    }
+
+    // Ground-truth check: is this practice actually in the health model?
+    let truth = HealthModel::default();
+    let truly_causal = match treatment {
+        Metric::Devices => truth.c_devices > 0.0,
+        Metric::ChangeEvents => truth.c_events > 0.0,
+        Metric::ChangeTypes => truth.c_change_types > 0.0,
+        Metric::Vlans => truth.c_vlans > 0.0,
+        Metric::Models => truth.c_models > 0.0,
+        Metric::Roles => truth.c_roles > 0.0,
+        Metric::AvgDevicesPerEvent => truth.c_event_size > 0.0,
+        Metric::FracAclEvents => truth.c_acl > 0.0,
+        _ => false,
+    };
+    println!(
+        "\nground truth: {} {} a direct cause of incident tickets in the generator",
+        treatment.name(),
+        if truly_causal { "IS" } else { "is NOT" }
+    );
+    println!("(practices like config-change counts or intra-device complexity are proxies:");
+    println!(" they co-move with causal drivers but have no direct effect — the QED's job is");
+    println!(" to tell these apart, which no purely-statistical ranking can.)");
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: dataset → inference → dependence → prediction,
+//! on the cached small fixture (≈48 networks × 5 months).
+
+use mpa::prelude::*;
+use mpa_bench::fixtures;
+
+#[test]
+fn case_table_covers_logged_months_only() {
+    let fx = fixtures::small();
+    let table = fx.table();
+    assert_eq!(table.n_cases(), fx.dataset.coverage.len());
+    assert!(table.n_cases() > 150, "enough cases for downstream stats");
+    for case in table.cases() {
+        assert!(fx.dataset.is_logged(case.network, case.month));
+    }
+}
+
+#[test]
+fn mi_ranking_puts_activity_and_size_on_top() {
+    let fx = fixtures::small();
+    let ranking = mi_ranking(fx.table(), 20);
+    assert_eq!(ranking.len(), 28);
+    let rank = |m: Metric| ranking.iter().position(|e| e.metric == m).unwrap();
+    // The size/activity family must dominate the ranking, as in Table 3.
+    let top: Vec<usize> = [
+        Metric::Devices,
+        Metric::ChangeEvents,
+        Metric::DevicesChanged,
+        Metric::ConfigChanges,
+    ]
+    .iter()
+    .map(|&m| rank(m))
+    .collect();
+    assert!(
+        top.iter().filter(|&&r| r < 6).count() >= 3,
+        "size/activity metrics should dominate the top ranks: {top:?}"
+    );
+    // Pure-noise metrics (no effect, no coupling to drivers) rank low.
+    assert!(rank(Metric::Workloads) > 14, "workloads rank {}", rank(Metric::Workloads));
+}
+
+#[test]
+fn cmi_finds_coupled_design_pairs() {
+    let fx = fixtures::small();
+    let cmi = cmi_ranking(fx.table());
+    // Strongly coupled by construction: devices changed vs config changes,
+    // models vs vendors, hardware vs firmware entropy, ... at least one
+    // mechanically-coupled pair must appear in the top 10 (Table 4's
+    // "natural connections between many design decisions").
+    let coupled = |a: Metric, b: Metric| {
+        cmi.iter().take(10).any(|e| {
+            (e.a == a && e.b == b) || (e.a == b && e.b == a)
+        })
+    };
+    assert!(
+        coupled(Metric::ConfigChanges, Metric::DevicesChanged)
+            || coupled(Metric::Models, Metric::Vendors)
+            || coupled(Metric::HardwareEntropy, Metric::FirmwareEntropy)
+            || coupled(Metric::ConfigChanges, Metric::ChangeEvents)
+            || coupled(Metric::Devices, Metric::DevicesChanged),
+        "no mechanically-coupled pair in the CMI top 10: {:?}",
+        cmi.iter().take(10).map(|e| (e.a.name(), e.b.name())).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn decision_tree_beats_majority_by_a_wide_margin() {
+    let fx = fixtures::small();
+    let table = fx.table();
+    let dt = cross_validation(table, HealthClasses::Two, ModelKind::Dt, 7);
+    let majority = cross_validation(table, HealthClasses::Two, ModelKind::Majority, 7);
+    assert!(
+        dt.accuracy() > majority.accuracy() + 0.10,
+        "DT {:.3} vs majority {:.3}",
+        dt.accuracy(),
+        majority.accuracy()
+    );
+    assert!(dt.accuracy() > 0.75, "2-class DT accuracy {:.3}", dt.accuracy());
+}
+
+#[test]
+fn five_class_enhancements_help_the_minority_classes() {
+    // Needs the medium fixture: minority-class recall estimates are too
+    // noisy on ~200 cases to compare model variants.
+    let fx = fixtures::medium();
+    let table = fx.table();
+    let plain = cross_validation(table, HealthClasses::Five, ModelKind::Dt, 7);
+    let full = cross_validation(table, HealthClasses::Five, ModelKind::DtAbOs, 7);
+    let mid = |e: &mpa::learn::Evaluation| (e.recall(1) + e.recall(2) + e.recall(3)) / 3.0;
+    assert!(
+        mid(&full) + 0.02 >= mid(&plain),
+        "oversampling+boosting should not hurt intermediate recall: {:.3} vs {:.3}",
+        mid(&full),
+        mid(&plain)
+    );
+}
+
+#[test]
+fn online_prediction_works_and_longer_history_is_reasonable() {
+    // Needs the medium fixture: the online trainer skips months whose
+    // training slice is under 50 cases, which a 48-network org hits at M=1.
+    let fx = fixtures::medium();
+    let table = fx.table();
+    let (acc1, ev1) = online_accuracy(table, HealthClasses::Two, ModelKind::Dt, 1);
+    let (acc3, ev3) = online_accuracy(table, HealthClasses::Two, ModelKind::Dt, 3);
+    assert!(ev1.n > ev3.n, "more testable months with shorter history");
+    assert!(acc1 > 0.6 && acc3 > 0.6, "online accuracies: {acc1:.3} / {acc3:.3}");
+}
+
+#[test]
+fn survey_comparison_reproduces_the_headline_contradictions() {
+    let fx = fixtures::small();
+    let responses = mpa::synth::survey::generate_survey(42);
+    let cfg = CausalConfig::default();
+    let mi = mi_ranking(fx.table(), 20);
+    let rows = compare_survey(&responses, &mi, &[], &cfg);
+    assert_eq!(rows.len(), 11);
+    // The survey side is fixed: ACL majority low, mbox majority high.
+    use mpa::synth::survey::{ImpactOpinion, SurveyPractice};
+    let acl = rows.iter().find(|r| r.practice == SurveyPractice::FracAclChange).unwrap();
+    assert_eq!(acl.majority, ImpactOpinion::Low);
+    let mbox = rows.iter().find(|r| r.practice == SurveyPractice::FracMboxChange).unwrap();
+    assert_eq!(mbox.majority, ImpactOpinion::High);
+}

@@ -1,0 +1,131 @@
+//! Inference-fidelity integration: the metrics recovered from raw data
+//! (snapshots, inventory, tickets) must agree with the generator's ground
+//! truth — the end-to-end correctness check for the whole §2 pipeline.
+
+use mpa::prelude::*;
+use mpa_bench::fixtures;
+
+#[test]
+fn inferred_tickets_match_ground_truth_exactly() {
+    let fx = fixtures::small();
+    for case in fx.table().cases() {
+        let truth = fx.dataset.truth(case.network, case.month).expect("truth row");
+        assert_eq!(
+            case.tickets,
+            f64::from(truth.incident_tickets),
+            "{}/{} (maintenance must be excluded)",
+            case.network,
+            case.month
+        );
+    }
+}
+
+#[test]
+fn inferred_event_counts_track_simulated_events() {
+    let fx = fixtures::small();
+    let mut total_true = 0.0;
+    let mut total_inferred = 0.0;
+    for case in fx.table().cases() {
+        let truth = fx.dataset.truth(case.network, case.month).expect("truth row");
+        total_true += f64::from(truth.n_events);
+        total_inferred += case.value(Metric::ChangeEvents);
+    }
+    let ratio = total_inferred / total_true;
+    // Events can merge when two simulated events land within δ, so inferred
+    // is a slight undercount; it must never overcount.
+    assert!((0.70..=1.02).contains(&ratio), "event recovery ratio {ratio}");
+}
+
+#[test]
+fn inferred_change_type_fractions_track_truth() {
+    let fx = fixtures::small();
+    // Exact agreement is not expected: when two simulated events land
+    // within δ of each other the inferred event inherits both type sets,
+    // inflating per-event fractions. The inferred fraction must still
+    // track the true one strongly.
+    let mut pairs = Vec::new();
+    for case in fx.table().cases() {
+        let truth = fx.dataset.truth(case.network, case.month).expect("truth row");
+        if truth.n_events < 5 {
+            continue; // fractions are noisy on quiet months
+        }
+        pairs.push((case.value(Metric::FracAclEvents), truth.frac_acl_events));
+    }
+    assert!(pairs.len() > 30);
+    let inferred: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let truth: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let r = mpa::stats::pearson(&inferred, &truth);
+    assert!(r > 0.6, "ACL-fraction inference should track truth: r = {r}");
+    // Note: inference may report ACL activity in a month whose ground truth
+    // had none — changes made during an unlogged month surface in the next
+    // logged month's first diff. That is correct behaviour for an archive
+    // with gaps, so no zero-matching assertion is made here.
+}
+
+#[test]
+fn inferred_automation_matches_profile_scale() {
+    let fx = fixtures::small();
+    let mut auto = Vec::new();
+    for case in fx.table().cases() {
+        let truth = fx.dataset.truth(case.network, case.month).expect("truth row");
+        if truth.n_events < 5 {
+            continue;
+        }
+        auto.push((case.value(Metric::FracAutomated), truth.frac_automated));
+    }
+    assert!(auto.len() > 30);
+    let inferred: Vec<f64> = auto.iter().map(|p| p.0).collect();
+    let truth: Vec<f64> = auto.iter().map(|p| p.1).collect();
+    let r = mpa::stats::pearson(&inferred, &truth);
+    assert!(r > 0.5, "automation inference should correlate with truth: r = {r}");
+}
+
+#[test]
+fn design_metrics_match_the_inventory() {
+    let fx = fixtures::small();
+    for case in fx.table().cases().iter().take(100) {
+        let net = fx.dataset.network(case.network).expect("network exists");
+        assert_eq!(case.value(Metric::Devices), net.size() as f64);
+        let vendors: std::collections::BTreeSet<_> =
+            net.devices.iter().map(|d| d.vendor()).collect();
+        assert_eq!(case.value(Metric::Vendors), vendors.len() as f64);
+        let entropy = case.value(Metric::HardwareEntropy);
+        assert!((0.0..=1.0).contains(&entropy));
+    }
+}
+
+#[test]
+fn routing_instances_are_recovered_from_config_text() {
+    // At least some networks must show >1 BGP instance (the generator
+    // partitions routers into meshes), and the mean instance size must be
+    // consistent with the member count.
+    let fx = fixtures::small();
+    let mut multi_instance = 0;
+    for case in fx.table().cases() {
+        let n_inst = case.value(Metric::BgpInstances);
+        if n_inst > 1.0 {
+            multi_instance += 1;
+        }
+        if n_inst > 0.0 {
+            let avg = case.value(Metric::AvgBgpInstanceSize);
+            assert!(avg >= 1.0, "instance size {avg}");
+            assert!(
+                avg * n_inst <= case.value(Metric::Devices) + 1e-9,
+                "instances cannot contain more devices than the network"
+            );
+        }
+    }
+    assert!(multi_instance > 20, "multi-instance BGP networks: {multi_instance}");
+}
+
+#[test]
+fn delta_sensitivity_matches_figure_3() {
+    // Monotonicity across δ re-groupings at the dataset level.
+    let fx = fixtures::tiny();
+    let fine = mpa::metrics::pipeline::infer(&fx.dataset, 1);
+    let default = mpa::metrics::pipeline::infer(&fx.dataset, 5);
+    let coarse = mpa::metrics::pipeline::infer(&fx.dataset, 30);
+    let total = |t: &CaseTable| -> f64 { t.column(Metric::ChangeEvents).iter().sum() };
+    assert!(total(&fine.table) >= total(&default.table));
+    assert!(total(&default.table) >= total(&coarse.table));
+}

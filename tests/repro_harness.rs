@@ -1,0 +1,65 @@
+//! Reproduction-harness smoke test: every table/figure regenerator runs and
+//! yields structurally sane output on the cached tiny fixture.
+
+use mpa_bench::{experiments, fixtures};
+
+#[test]
+fn every_experiment_regenerates() {
+    let fx = fixtures::tiny();
+    for id in experiments::ALL_EXPERIMENTS {
+        let out = experiments::run(id, fx).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert!(out.lines().count() >= 3, "{id} output too small:\n{out}");
+    }
+}
+
+#[test]
+fn survey_figure_matches_published_counts() {
+    let out = experiments::run("fig2", fixtures::tiny()).unwrap();
+    // Spot-check the published histogram: change events 1/4/12/32/2.
+    assert!(out.contains("32"), "{out}");
+    assert!(out.contains("No. of change events"));
+    // And the two headline opinions.
+    assert!(out.lines().any(|l| l.contains("ACL") && l.contains("Low")), "{out}");
+    assert!(out.lines().any(|l| l.contains("mbox") && l.contains("High")), "{out}");
+}
+
+#[test]
+fn table7_reports_ground_truth_column() {
+    let out = experiments::run("table7", fixtures::tiny()).unwrap();
+    assert!(out.contains("ground truth"), "{out}");
+    assert!(out.contains("causal") || out.contains("proxy"), "{out}");
+}
+
+#[test]
+fn fig9_shares_sum_to_100_percent() {
+    let out = experiments::run("fig9", fixtures::tiny()).unwrap();
+    let mut shares: Vec<f64> = Vec::new();
+    for line in out.lines() {
+        if let Some(pct) = line.split_whitespace().last() {
+            if let Some(stripped) = pct.strip_suffix('%') {
+                if let Ok(v) = stripped.parse::<f64>() {
+                    shares.push(v);
+                }
+            }
+        }
+    }
+    // Two distributions (2-class + 5-class): shares come in groups summing
+    // to ~100 each; total ≈ 200.
+    let total: f64 = shares.iter().sum();
+    assert!((total - 200.0).abs() < 1.0, "shares sum to {total}: {out}");
+}
+
+#[test]
+fn fig10_trees_split_on_catalog_metrics() {
+    let out = experiments::run("fig10", fixtures::tiny()).unwrap();
+    assert!(out.contains("healthy"), "{out}");
+    assert!(
+        out.contains("No. of") || out.contains("Frac.") || out.contains("complexity"),
+        "tree should name real metrics: {out}"
+    );
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    assert!(experiments::run("table99", fixtures::tiny()).is_none());
+}
