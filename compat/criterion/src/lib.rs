@@ -1,0 +1,210 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion/0.8).
+//!
+//! Runs each benchmark for a fixed number of samples, reports min / median /
+//! mean wall-clock per iteration, and honours `--bench` harness invocation.
+//! No statistical analysis, plots, or baselines — numbers print to stdout,
+//! one line per benchmark:
+//!
+//! ```text
+//! analytics/mi_ranking    time: [min 1.21 ms, median 1.25 ms, mean 1.27 ms]  (20 samples)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness entry point; create via `Criterion::default()`
+/// (normally done by [`criterion_main!`]).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Default number of samples per benchmark (overridable per group).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let n = self.sample_size;
+        run_bench(&id.into(), n, f);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&format!("{}/{}", self.name, id.into()), n, f);
+    }
+
+    /// Finish the group (drop also finishes; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Batch size hint for [`Bencher::iter_batched`]; accepted for API parity,
+/// batching is always per-iteration here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    /// Measured wall-clock for the sample, excluding setup.
+    elapsed: Duration,
+    /// Iterations the routine ran in this sample.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` (one iteration per sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t = Instant::now();
+        let out = routine();
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+
+    /// Time `routine` on a fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t = Instant::now();
+        let out = routine(input);
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    // Warm-up sample (not recorded): touches caches, lazy statics, fixtures.
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<40} (no iterations recorded)");
+        return;
+    }
+
+    let mut per_iter: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b);
+        per_iter.push(b.elapsed / u32::try_from(b.iters.max(1)).unwrap_or(u32::MAX));
+    }
+    per_iter.sort();
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<Duration>() / u32::try_from(per_iter.len()).unwrap();
+    println!(
+        "{id:<40} time: [min {}, median {}, mean {}]  ({samples} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into one group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group runner generated by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, honouring the libtest-style
+/// `--bench` / `--test` flags cargo passes to bench binaries.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` invokes bench binaries with `--test`;
+            // in that mode just confirm the harness links and exit.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut count = 0u32;
+        g.bench_function("iter", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.bench_function(format!("batched/{}", 1), |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(count >= 3, "warmup + samples each ran the routine once");
+    }
+}

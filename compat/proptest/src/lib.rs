@@ -1,0 +1,385 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest/1).
+//!
+//! Same spelling as upstream for the subset this workspace uses —
+//! `proptest!`, `prop_assert*!`, `prop_oneof!`, `Strategy`, `prop_map`,
+//! `Just`, `any::<bool>()`, `proptest::collection::vec`, range strategies,
+//! and `ProptestConfig::with_cases` — but a simpler model:
+//!
+//! - inputs are drawn from a deterministic RNG seeded from the test name
+//!   and case index, so failures reproduce without a persistence file;
+//! - there is no shrinking: a failing case reports the assertion message
+//!   from `prop_assert!` and the case number.
+
+use std::ops::Range;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the opt-level-2 test suite fast
+        // while still exercising plenty of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG (xoshiro-style mix over a SplitMix64 seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 2],
+}
+
+impl TestRng {
+    /// Seed from the test name and case index (FNV-1a over the name).
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut sm = h ^ (u64::from(case) << 32) ^ u64::from(case);
+        TestRng { s: [split_mix(&mut sm), split_mix(&mut sm)] }
+    }
+
+    /// Next 64 random bits (xoroshiro128++).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, mut s1] = self.s;
+        let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+        s1 ^= s0;
+        self.s[0] = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+        self.s[1] = s1.rotate_left(28);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function (like upstream
+    /// `Strategy::prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(rng.below(span.saturating_add(1).max(1)) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $ix:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Types with a canonical "any value" strategy (only what the workspace
+/// needs).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (see [`Arbitrary`]).
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, like upstream `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A boxed generator closure, one alternative of a [`OneOf`].
+pub type Generator<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between boxed generator closures; built by
+/// [`prop_oneof!`].
+pub struct OneOf<T> {
+    /// One generator per alternative.
+    pub alternatives: Vec<Generator<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        let ix = rng.below(self.alternatives.len() as u64) as usize;
+        (self.alternatives[ix])(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of values from `element` with length in `len`
+    /// (half-open, like upstream's `0..12`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert within a property; failure reports the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::OneOf {
+            alternatives: vec![
+                $({
+                    let s = $strategy;
+                    Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                        as Box<dyn Fn(&mut $crate::TestRng) -> _>
+                }),+
+            ],
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($config:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $config;
+                for __case in 0..cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples_stay_in_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..500 {
+            let (a, b) = (1u16..40, -1e3f64..1e3).generate(&mut rng);
+            assert!((1..40).contains(&a));
+            assert!((-1e3..1e3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let s = collection::vec(0u8..5, 2..7);
+        let mut rng = TestRng::for_case("lens", 3);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_alternatives() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::for_case("oneof", 1);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[usize::from(s.generate(&mut rng)) - 1] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, flips in collection::vec(any::<bool>(), 0..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(flips.len() < 4);
+        }
+    }
+}

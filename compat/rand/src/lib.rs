@@ -1,0 +1,260 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand/0.9) crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the rand 0.9 API it actually uses:
+//! [`SeedableRng::seed_from_u64`], [`Rng::random`], [`Rng::random_range`]
+//! and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256\*\* seeded through SplitMix64 — the standard
+//! pairing recommended by the xoshiro authors. It is *not* the same stream
+//! as upstream rand's ChaCha12-based `StdRng`; like upstream, this crate
+//! promises determinism for a given seed, not stream compatibility across
+//! versions. All calibration expectations in this workspace were fitted
+//! against this generator.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Expand a 64-bit state with the SplitMix64 step function.
+///
+/// Exposed because the synth and learn crates use it to derive independent
+/// per-network / per-tree seed streams from one master seed.
+#[inline]
+pub fn split_mix_64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A source of random `u64`s. The only method an RNG has to provide.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`]. Mirrors the rand 0.9 `Rng` trait surface this workspace
+/// uses.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`
+    /// (`f64` ∈ [0, 1), full-range integers, fair `bool`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from a seed. Only the `u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Build an RNG from a 64-bit seed, expanding it to the full state
+    /// via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types with a canonical "standard" distribution.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random bits → uniform in [0, 1), the conventional mapping.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough integer draw in `[0, span)` via 128-bit multiply.
+/// (Bias is < 2⁻⁶⁴ per draw; determinism, not bias, is what the synth
+/// pipeline depends on.)
+#[inline]
+fn mul_bound(rng: &mut impl RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(mul_bound(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(mul_bound(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{split_mix_64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256\*\*.
+    ///
+    /// Fast, tiny state, passes BigCrush; seeded from a `u64` via
+    /// SplitMix64 per the xoshiro reference implementation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                split_mix_64(&mut sm),
+                split_mix_64(&mut sm),
+                split_mix_64(&mut sm),
+                split_mix_64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..=14);
+            assert!((10..=14).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all endpoints reachable");
+        for _ in 0..1000 {
+            let v = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&v));
+            let u = rng.random_range(0usize..=0);
+            assert_eq!(u, 0);
+            let w = rng.random_range(5i64..8);
+            assert!((5..8).contains(&w));
+        }
+    }
+}

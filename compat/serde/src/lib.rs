@@ -1,0 +1,467 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde/1.0).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! small self-describing serialization framework with the same *spelling*
+//! as serde — `use serde::{Serialize, Deserialize}` and
+//! `#[derive(Serialize, Deserialize)]` work unchanged — but a much simpler
+//! contract: types convert to and from an owned [`Value`] tree, and
+//! `serde_json` renders that tree as JSON text.
+//!
+//! Differences from upstream that matter to callers:
+//! - maps serialize as arrays of `[key, value]` pairs (works for any key
+//!   type; this workspace never hand-inspects that JSON);
+//! - non-finite floats serialize as `null` (upstream errors);
+//! - enums are externally tagged exactly like upstream.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Value model
+// ---------------------------------------------------------------------------
+
+/// A JSON-shaped value tree: the interchange format between typed data and
+/// text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, as insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, keeping integer/float distinction for lossless roundtrips.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Value {
+    /// Borrow as object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short tag naming the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error
+// ---------------------------------------------------------------------------
+
+/// Serialization/deserialization failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X, found Y" while deserializing `ctx`.
+    pub fn expected(what: &str, found: &Value, ctx: &str) -> Self {
+        Error(format!("{ctx}: expected {what}, found {}", found.kind()))
+    }
+
+    /// Unknown externally-tagged enum variant.
+    pub fn unknown_variant(tag: &str, ctx: &str) -> Self {
+        Error(format!("{ctx}: unknown variant {tag:?}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Traits
+// ---------------------------------------------------------------------------
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to the interchange tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from the interchange tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive support helpers (used by generated code; also handy manually)
+// ---------------------------------------------------------------------------
+
+/// Externally-tagged enum payload: `{"Variant": inner}`.
+pub fn variant(tag: &str, inner: Value) -> Value {
+    Value::Object(vec![(tag.to_string(), inner)])
+}
+
+/// Split `{"Variant": inner}` into `("Variant", &inner)`.
+pub fn variant_parts<'v>(v: &'v Value, ctx: &str) -> Result<(&'v str, &'v Value), Error> {
+    match v.as_object() {
+        Some([(tag, inner)]) => Ok((tag.as_str(), inner)),
+        _ => Err(Error::expected("single-key variant object", v, ctx)),
+    }
+}
+
+/// Borrow the object pairs or fail with context.
+pub fn expect_object<'v>(v: &'v Value, ctx: &str) -> Result<&'v [(String, Value)], Error> {
+    v.as_object().ok_or_else(|| Error::expected("object", v, ctx))
+}
+
+/// Borrow an array of exactly `n` items or fail with context.
+pub fn expect_array<'v>(v: &'v Value, n: usize, ctx: &str) -> Result<&'v [Value], Error> {
+    let items = v.as_array().ok_or_else(|| Error::expected("array", v, ctx))?;
+    if items.len() != n {
+        return Err(Error::custom(format!("{ctx}: expected {n} elements, found {}", items.len())));
+    }
+    Ok(items)
+}
+
+/// Look up and deserialize a named struct field.
+pub fn field<T: Deserialize>(
+    obj: &[(String, Value)],
+    name: &str,
+    ctx: &str,
+) -> Result<T, Error> {
+    let v = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("{ctx}: missing field {name:?}")))?;
+    T::from_value(v).map_err(|e| Error::custom(format!("{ctx}.{name}: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", v, "bool")),
+        }
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(irrefutable_let_patterns)]
+                if let Ok(i) = i64::try_from(*self) {
+                    Value::Num(Number::I64(i))
+                } else {
+                    Value::Num(Number::U64(*self as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Num(Number::I64(i)) => <$t>::try_from(*i).ok(),
+                    Value::Num(Number::U64(u)) => <$t>::try_from(*u).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::expected(stringify!($t), v, stringify!($t)))
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Num(Number::F64(*self))
+        } else {
+            Value::Null // JSON has no NaN/Inf; mirrors JS semantics
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Num(Number::F64(f)) => Ok(*f),
+            Value::Num(Number::I64(i)) => Ok(*i as f64),
+            Value::Num(Number::U64(u)) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("number", v, "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        f64::from(*self).to_value()
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", v, "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-char string", v, "char")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", v, "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = expect_array(v, 2, "tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = expect_array(v, 3, "tuple")?;
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+// Maps serialize as arrays of [key, value] pairs: key types here include
+// newtype ids, so a JSON object (string keys only) cannot represent them.
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|(k, v)| (k, v).to_value()).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v, "BTreeMap"))?;
+        items.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output requires a stable order; sort by rendered key.
+        let mut pairs: Vec<Value> = self.iter().map(|(k, v)| (k, v).to_value()).collect();
+        pairs.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Value::Array(pairs)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v, "HashMap"))?;
+        items.iter().map(<(K, V)>::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v, "BTreeSet"))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+        let v: Vec<(u8, bool)> = vec![(1, true), (2, false)];
+        assert_eq!(Vec::<(u8, bool)>::from_value(&v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn maps_roundtrip_as_pair_arrays() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, vec![1.0f64, 2.0]);
+        m.insert(1u32, vec![]);
+        let v = m.to_value();
+        assert!(matches!(v, Value::Array(_)));
+        assert_eq!(BTreeMap::<u32, Vec<f64>>::from_value(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn out_of_range_int_fails() {
+        assert!(u8::from_value(&300u64.to_value()).is_err());
+    }
+}

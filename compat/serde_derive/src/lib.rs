@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! data shapes this workspace actually uses, without depending on
+//! `syn`/`quote` (unavailable offline). The derives target the vendored
+//! `serde` shim's value-tree model: `Serialize::to_value` /
+//! `Deserialize::from_value`.
+//!
+//! Supported shapes:
+//! - structs with named fields (`#[serde(skip)]` per field);
+//! - tuple structs (1 field ⇒ newtype, serialized as the inner value;
+//!   n ≥ 2 ⇒ array) and `#[serde(transparent)]`;
+//! - unit structs;
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde), including recursive ones.
+//!
+//! Generic types are intentionally unsupported — the workspace has none.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("derive(Serialize): generated code parses")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("derive(Deserialize): generated code parses")
+}
+
+// ---------------------------------------------------------------------------
+// Item model + parser
+// ---------------------------------------------------------------------------
+
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<NamedField>),
+}
+
+enum Body {
+    Named(Vec<NamedField>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+/// True if the attribute token stream is `serde(...)` containing the word.
+fn serde_attr_contains(attr: &[TokenTree], word: &str) -> bool {
+    let mut it = attr.iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(w) if w.to_string() == word))
+        }
+        _ => false,
+    }
+}
+
+/// Consume leading `#[...]` attributes starting at `*i`; return their token
+/// streams.
+fn take_attrs(trees: &[TokenTree], i: &mut usize) -> Vec<Vec<TokenTree>> {
+    let mut attrs = Vec::new();
+    while matches!(trees.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        match trees.get(*i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                attrs.push(g.stream().into_iter().collect());
+                *i += 2;
+            }
+            _ => panic!("derive: malformed attribute"),
+        }
+    }
+    attrs
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` visibility tokens.
+fn skip_visibility(trees: &[TokenTree], i: &mut usize) {
+    if matches!(trees.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(trees.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(trees: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match trees.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Skip tokens until a top-level `,` (angle-bracket aware, for types like
+/// `BTreeMap<K, Vec<V>>`). Leaves `*i` past the comma (or at end).
+fn skip_past_comma(trees: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = trees.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group_stream: TokenStream) -> Vec<NamedField> {
+    let trees: Vec<TokenTree> = group_stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        let attrs = take_attrs(&trees, &mut i);
+        skip_visibility(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let name = expect_ident(&trees, &mut i, "field name");
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive: expected `:` after field {name}, found {other:?}"),
+        }
+        skip_past_comma(&trees, &mut i);
+        let skip = attrs.iter().any(|a| serde_attr_contains(a, "skip"));
+        fields.push(NamedField { name, skip });
+    }
+    fields
+}
+
+/// Count top-level comma-separated entries of a tuple-struct/-variant body.
+fn count_tuple_fields(group_stream: TokenStream) -> usize {
+    let trees: Vec<TokenTree> = group_stream.into_iter().collect();
+    if trees.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < trees.len() {
+        let _ = take_attrs(&trees, &mut i);
+        skip_visibility(&trees, &mut i);
+        if i >= trees.len() {
+            break; // trailing comma
+        }
+        skip_past_comma(&trees, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group_stream: TokenStream) -> Vec<Variant> {
+    let trees: Vec<TokenTree> = group_stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        let _attrs = take_attrs(&trees, &mut i);
+        if i >= trees.len() {
+            break;
+        }
+        let name = expect_ident(&trees, &mut i, "variant name");
+        let variant = match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Variant::Tuple(name, n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Variant::Struct(name, fields)
+            }
+            _ => Variant::Unit(name),
+        };
+        variants.push(variant);
+        // Skip an optional discriminant and the separating comma.
+        skip_past_comma(&trees, &mut i);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_attrs = take_attrs(&trees, &mut i);
+    let transparent = container_attrs.iter().any(|a| serde_attr_contains(a, "transparent"));
+    skip_visibility(&trees, &mut i);
+    let kw = expect_ident(&trees, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&trees, &mut i, "item name");
+    if matches!(trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive: generic type {name} is not supported by the vendored serde_derive");
+    }
+    let body = match kw.as_str() {
+        "struct" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+            other => panic!("derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match trees.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, transparent, body }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            if item.transparent {
+                let only: Vec<&NamedField> = fields.iter().filter(|f| !f.skip).collect();
+                assert!(only.len() == 1, "serde(transparent) needs exactly one field");
+                format!("::serde::Serialize::to_value(&self.{})", only[0].name)
+            } else {
+                let mut s = String::from(
+                    "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "fields.push((String::from({:?}), ::serde::Serialize::to_value(&self.{})));\n",
+                        f.name, f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(fields)");
+                s
+            }
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(String::from({vn:?})),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::variant({vn:?}, ::serde::Serialize::to_value(f0)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::variant({vn:?}, ::serde::Value::Array(vec![{}])),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "fields.push((String::from({:?}), ::serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::variant({vn:?}, ::serde::Value::Object(fields))\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            if item.transparent {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{}: ::serde::Deserialize::from_value(v)?,\n",
+                            f.name
+                        ));
+                    }
+                }
+                format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{}: ::serde::field(obj, {:?}, {name:?})?,\n",
+                            f.name, f.name
+                        ));
+                    }
+                }
+                format!(
+                    "let obj = ::serde::expect_object(v, {name:?})?;\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = ::serde::expect_array(v, {n}, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let items = ::serde::expect_array(inner, {n}, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{}: ::serde::field(obj, {:?}, {name:?})?,\n",
+                                    f.name, f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let obj = ::serde::expect_object(inner, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(s) = v {{\n\
+                 return match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, {name:?})),\n\
+                 }};\n\
+                 }}\n\
+                 let (tag, inner) = ::serde::variant_parts(v, {name:?})?;\n\
+                 match tag {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, {name:?})),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,48 @@
+//! Criterion bench: the full generate → infer → MI pipeline.
+//!
+//! This is the tentpole measurement for the data-parallel execution
+//! engine: the whole pipeline, end to end, at a bench-friendly scale and
+//! at (a subset of) the paper's scale. Thread count comes from the
+//! environment (`MPA_THREADS`), so the same bench measures sequential and
+//! parallel runs:
+//!
+//! ```text
+//! MPA_THREADS=1 cargo bench --bench pipeline
+//! cargo bench --bench pipeline            # all cores
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpa_metrics::pipeline::infer;
+use mpa_metrics::DELTA_DEFAULT_MINUTES;
+use mpa_synth::Scenario;
+
+fn pipeline(scenario: &Scenario) -> usize {
+    let dataset = scenario.generate();
+    let inference = infer(&dataset, DELTA_DEFAULT_MINUTES);
+    let mi = mpa_core::mi_ranking(&inference.table, 20);
+    inference.table.n_cases() + mi.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+
+    // ~100 networks: the everyday scale.
+    let mid = Scenario {
+        org: mpa_synth::OrgConfig { n_networks: 100, ..Scenario::medium().org },
+        ..Scenario::medium()
+    };
+    g.bench_function("generate_infer_mi/100", |b| b.iter(|| pipeline(&mid)));
+
+    // 850 networks: the paper's scale (a few samples are enough for a
+    // wall-clock figure; BENCH_pipeline.json holds the canonical runs).
+    let paper = Scenario {
+        org: mpa_synth::OrgConfig { n_networks: 850, ..Scenario::paper().org },
+        ..Scenario::paper()
+    };
+    g.bench_function("generate_infer_mi/850", |b| b.iter(|| pipeline(&paper)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

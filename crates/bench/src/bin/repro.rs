@@ -1,13 +1,18 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale tiny|small|medium|paper] [--out DIR] <experiment>... | all | calibrate
+//! repro [--scale tiny|small|medium|paper] [--threads N] [--out DIR] \
+//!       [--bench-out FILE] <experiment>... | all | calibrate
 //! ```
 //!
 //! Experiment ids are the paper's table/figure numbers (`table3`, `fig8`,
 //! ...) plus `comparison` (opinion vs evidence) and `calibrate` (dataset
 //! health check). `all` runs everything and, with `--out`, also writes one
 //! text file per experiment — the inputs EXPERIMENTS.md records.
+//!
+//! `--bench-out FILE` times the generate → infer → MI pipeline at 1 thread
+//! and at the full worker count, cross-checks that both produced identical
+//! results, and writes the JSON artifact (`BENCH_pipeline.json`).
 
 use mpa_bench::experiments;
 use mpa_bench::fixtures::{by_scale, FixtureScale};
@@ -16,6 +21,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = FixtureScale::Medium;
     let mut out_dir: Option<String> = None;
+    let mut bench_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -34,12 +40,51 @@ fn main() {
                 };
             }
             "--out" => out_dir = it.next().cloned(),
+            "--bench-out" => bench_out = it.next().cloned(),
+            "--threads" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+                mpa_exec::set_threads(n);
+            }
             other => targets.push(other.to_string()),
+        }
+    }
+    mpa_exec::set_phase_timing(true);
+
+    if let Some(path) = &bench_out {
+        let threads = mpa_exec::threads();
+        let counts: Vec<usize> = if threads > 1 { vec![1, threads] } else { vec![1] };
+        eprintln!(
+            "[mpa] pipeline bench: scale {scale:?}, thread counts {counts:?} \
+             ({} cores available)",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        let bench = mpa_bench::run_pipeline_bench(&scale.scenario(), &counts);
+        let json = serde_json::to_string(&bench).expect("bench serializes");
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        for r in &bench.runs {
+            eprintln!(
+                "[mpa]   {} thread(s): generate {:.2}s  infer {:.2}s  mi {:.2}s  total {:.2}s",
+                r.threads, r.generate_s, r.infer_s, r.mi_ranking_s, r.total_s
+            );
+        }
+        eprintln!(
+            "[mpa]   speedup {:.2}x, deterministic: {} -> wrote {path}",
+            bench.speedup, bench.deterministic
+        );
+        if targets.is_empty() {
+            return;
         }
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: repro [--scale tiny|small|medium|paper] [--out DIR] <experiment>...|all|calibrate"
+            "usage: repro [--scale tiny|small|medium|paper] [--threads N] [--out DIR] \
+             [--bench-out FILE] <experiment>...|all|calibrate"
         );
         eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);

@@ -67,11 +67,12 @@ impl Fixture {
     pub fn causal_top10(&self) -> &[mpa_core::CausalAnalysis] {
         self.causal_cache.get_or_init(|| {
             let cfg = mpa_core::CausalConfig::default();
-            self.mi()
-                .iter()
-                .take(10)
-                .map(|e| mpa_core::analyze_treatment(self.table(), e.metric, &cfg))
-                .collect()
+            // Each treatment metric is matched and tested independently;
+            // fan out across the worker threads, order preserved.
+            let top: Vec<_> = self.mi().iter().take(10).collect();
+            mpa_exec::par_map(&top, |_, e| {
+                mpa_core::analyze_treatment(self.table(), e.metric, &cfg)
+            })
         })
     }
 

@@ -5,8 +5,13 @@
 //! * [`experiments`] — one regenerator per table/figure of the paper; each
 //!   returns the printable artifact, so the `repro` binary and the criterion
 //!   benches share the exact same code paths.
+//! * [`pipeline_bench`] — wall-clock benchmark of the generate → infer →
+//!   MI pipeline across thread counts (`repro --bench-out`), with a
+//!   built-in determinism cross-check.
 
 pub mod experiments;
 pub mod fixtures;
+pub mod pipeline_bench;
 
 pub use fixtures::{Fixture, FixtureScale};
+pub use pipeline_bench::{run_pipeline_bench, PipelineBench, PipelineRun};

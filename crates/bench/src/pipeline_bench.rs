@@ -1,0 +1,121 @@
+//! End-to-end pipeline wall-clock benchmark.
+//!
+//! Times the three pipeline phases the execution engine parallelizes —
+//! dataset generation, practice inference, MI ranking — at a set of thread
+//! counts, and cross-checks that every run produced identical results
+//! (the engine's core guarantee). `repro --bench-out FILE` writes the
+//! result as `BENCH_pipeline.json`.
+
+use mpa_metrics::pipeline::infer;
+use mpa_metrics::DELTA_DEFAULT_MINUTES;
+use mpa_synth::Scenario;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed run of the pipeline at a fixed thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineRun {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Dataset generation wall-clock seconds.
+    pub generate_s: f64,
+    /// Case-table inference wall-clock seconds.
+    pub infer_s: f64,
+    /// MI ranking wall-clock seconds.
+    pub mi_ranking_s: f64,
+    /// Sum of the phases.
+    pub total_s: f64,
+}
+
+/// The full benchmark artifact (`BENCH_pipeline.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineBench {
+    /// Number of networks in the benchmarked scenario.
+    pub networks: usize,
+    /// Months in the scenario.
+    pub months: usize,
+    /// Cores the host reports.
+    pub available_cores: usize,
+    /// One entry per benchmarked thread count.
+    pub runs: Vec<PipelineRun>,
+    /// Total-time speedup of the best run over the 1-thread run.
+    pub speedup: f64,
+    /// Whether every run produced bit-identical output (summary, case
+    /// rows and MI ranking compared across thread counts).
+    pub deterministic: bool,
+}
+
+/// Run the pipeline at each thread count and compare outputs.
+///
+/// The first entry of `thread_counts` is the baseline for the speedup
+/// figure; pass `[1, n]` for the canonical sequential-vs-parallel number.
+pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> PipelineBench {
+    assert!(!thread_counts.is_empty(), "need at least one thread count");
+    let saved = mpa_exec::threads();
+    let mut runs = Vec::with_capacity(thread_counts.len());
+    let mut reference: Option<(String, usize, String)> = None;
+    let mut deterministic = true;
+
+    for &threads in thread_counts {
+        mpa_exec::set_threads(threads);
+
+        let t0 = Instant::now();
+        let dataset = scenario.generate();
+        let generate_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let inference = infer(&dataset, DELTA_DEFAULT_MINUTES);
+        let infer_s = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
+        let mi = mpa_core::mi_ranking(&inference.table, 20);
+        let mi_ranking_s = t2.elapsed().as_secs_f64();
+
+        // Fingerprint the outputs; any divergence across thread counts is
+        // a determinism bug, which the artifact should loudly record.
+        let fingerprint = (
+            format!("{:?}", dataset.summary()),
+            inference.table.n_cases(),
+            format!("{mi:?}"),
+        );
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(r) => deterministic &= *r == fingerprint,
+        }
+
+        runs.push(PipelineRun {
+            threads,
+            generate_s,
+            infer_s,
+            mi_ranking_s,
+            total_s: generate_s + infer_s + mi_ranking_s,
+        });
+    }
+    mpa_exec::set_threads(saved);
+
+    let base = runs[0].total_s;
+    let best = runs.iter().map(|r| r.total_s).fold(f64::INFINITY, f64::min);
+    PipelineBench {
+        networks: scenario.org.n_networks,
+        months: scenario.org.n_months,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs,
+        speedup: if best > 0.0 { base / best } else { 1.0 },
+        deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_is_deterministic_across_thread_counts() {
+        let bench = run_pipeline_bench(&Scenario::tiny(), &[1, 2]);
+        assert_eq!(bench.runs.len(), 2);
+        assert!(bench.deterministic, "thread count changed pipeline output");
+        assert!(bench.runs.iter().all(|r| r.total_s > 0.0));
+        let json = serde_json::to_string(&bench).expect("serializes");
+        assert!(json.contains("\"deterministic\""));
+    }
+}

@@ -30,6 +30,10 @@ fn main() {
         usage_and_exit();
     };
     let opts = Opts::parse(&args[1..]);
+    if let Some(n) = opts.threads {
+        mpa_core::exec::set_threads(n);
+    }
+    mpa_core::exec::set_phase_timing(true);
     match command.as_str() {
         "generate" => generate(&opts),
         "infer" => infer(&opts),
@@ -54,7 +58,9 @@ fn usage_and_exit() -> ! {
            mpa-cli infer    --dataset dataset.json [--delta MIN] --out table.json\n\
            mpa-cli analyze  --table table.json [--causal-top N]\n\
            mpa-cli predict  --table table.json [--classes 2|5]\n\
-           mpa-cli report   --table table.json"
+           mpa-cli report   --table table.json\n\n\
+         every command also accepts --threads N (default: all cores);\n\
+         results are identical at any thread count"
     );
     std::process::exit(2);
 }
@@ -71,6 +77,7 @@ struct Opts {
     delta: Option<u64>,
     causal_top: Option<usize>,
     classes: Option<u8>,
+    threads: Option<usize>,
 }
 
 impl Opts {
@@ -93,6 +100,13 @@ impl Opts {
                 "--delta" => o.delta = value().parse().ok(),
                 "--causal-top" => o.causal_top = value().parse().ok(),
                 "--classes" => o.classes = value().parse().ok(),
+                "--threads" => match value().parse() {
+                    Ok(n) => o.threads = Some(n),
+                    Err(_) => {
+                        eprintln!("--threads needs a number");
+                        std::process::exit(2);
+                    }
+                },
                 other => {
                     eprintln!("unknown flag {other:?}");
                     std::process::exit(2);
@@ -132,7 +146,7 @@ fn generate(opts: &Opts) {
     if let Some(seed) = opts.seed {
         scenario = scenario.with_seed(seed);
     }
-    let dataset = scenario.generate();
+    let dataset = mpa_core::exec::timed_phase("generate", || scenario.generate());
     let summary = dataset.summary();
     eprintln!(
         "generated {} networks / {} devices / {} snapshots / {} tickets",
@@ -161,10 +175,10 @@ fn infer(opts: &Opts) {
         std::process::exit(1);
     });
     dataset.inventory.rebuild_index(); // skipped field; see Inventory docs
-    let table = match opts.delta {
+    let table = mpa_core::exec::timed_phase("infer", || match opts.delta {
         Some(delta) => mpa_metrics::pipeline::infer(&dataset, delta).table,
         None => infer_case_table(&dataset),
-    };
+    });
     eprintln!("inferred {} cases", table.n_cases());
     let out = opts.out.as_deref().unwrap_or("table.json");
     std::fs::write(out, serde_json::to_string(&table).expect("table serializes"))
@@ -179,7 +193,7 @@ fn analyze(opts: &Opts) {
     let table = opts.load_table();
     println!("== dependence analysis ({} cases) ==\n", table.n_cases());
 
-    let mi = mi_ranking(&table, 20);
+    let mi = mpa_core::exec::timed_phase("mi_ranking", || mi_ranking(&table, 20));
     let mut t = TextTable::new(vec!["rank", "practice", "cat", "avg monthly MI"]);
     for (i, e) in mi.iter().take(10).enumerate() {
         t.row(vec![
@@ -191,7 +205,7 @@ fn analyze(opts: &Opts) {
     }
     println!("{t}");
 
-    let cmi = cmi_ranking(&table);
+    let cmi = mpa_core::exec::timed_phase("cmi_ranking", || cmi_ranking(&table));
     let mut t = TextTable::new(vec!["practice pair", "", "CMI"]);
     for e in cmi.iter().take(10) {
         t.row(vec![e.a.name().to_string(), e.b.name().to_string(), format!("{:.3}", e.cmi)]);
@@ -202,8 +216,13 @@ fn analyze(opts: &Opts) {
     println!("== causal analysis (top {top} practices, 1:2 bins) ==\n");
     let cfg = CausalConfig::default();
     let mut t = TextTable::new(vec!["treatment", "pairs", "p-value", "balance", "verdict"]);
-    for e in mi.iter().take(top) {
-        let analysis = analyze_treatment(&table, e.metric, &cfg);
+    // Matching is independent per treatment metric; fan out, render in
+    // ranking order.
+    let top_entries: Vec<_> = mi.iter().take(top).collect();
+    let analyses = mpa_core::exec::timed_phase("causal", || {
+        mpa_core::exec::par_map(&top_entries, |_, e| analyze_treatment(&table, e.metric, &cfg))
+    });
+    for (e, analysis) in top_entries.iter().zip(&analyses) {
         if let Some(c) = analysis.low_bin_comparison() {
             t.row(vec![
                 e.metric.name().to_string(),
@@ -234,12 +253,14 @@ fn predict(opts: &Opts) {
     println!("{t}");
 
     let mut t = TextTable::new(vec!["model", "5-fold CV accuracy"]);
-    for kind in
-        [ModelKind::Dt, ModelKind::DtAb, ModelKind::DtOs, ModelKind::DtAbOs, ModelKind::Majority]
-    {
-        let ev = cross_validation(&table, classes, kind, 7);
-        t.row(vec![kind.label().to_string(), format!("{:.3}", ev.accuracy())]);
-    }
+    mpa_core::exec::timed_phase("predict", || {
+        for kind in
+            [ModelKind::Dt, ModelKind::DtAb, ModelKind::DtOs, ModelKind::DtAbOs, ModelKind::Majority]
+        {
+            let ev = cross_validation(&table, classes, kind, 7);
+            t.row(vec![kind.label().to_string(), format!("{:.3}", ev.accuracy())]);
+        }
+    });
     println!("{t}");
 
     let months = table.months().len();

@@ -98,9 +98,9 @@ pub fn compare_survey(
 
             let agreement = if opined_high && evidence_high {
                 Agreement::Agrees
-            } else if opined_high && evidence_low {
-                Agreement::Contradicts
-            } else if !opined_high && causal_found == Some(true) {
+            } else if (opined_high && evidence_low)
+                || (!opined_high && causal_found == Some(true))
+            {
                 Agreement::Contradicts
             } else if !opined_high && evidence_low {
                 Agreement::Agrees

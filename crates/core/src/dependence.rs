@@ -54,30 +54,38 @@ pub fn mi_ranking(table: &CaseTable, min_cases_per_month: usize) -> Vec<MiEntry>
         .map(|&m| Binner::fit(&table.column(m), DEPENDENCE_BINS))
         .collect();
 
-    let months = table.months();
-    let mut entries: Vec<MiEntry> = Metric::ALL
-        .iter()
-        .enumerate()
-        .map(|(mi_ix, &metric)| {
+    // Qualifying months with their cases and binned health column, computed
+    // once and shared by every metric (the sequential version re-binned
+    // tickets 28 times).
+    let month_cases: Vec<(Vec<&Case>, Vec<usize>)> = table
+        .months()
+        .into_iter()
+        .filter_map(|month| {
+            let cases = table.cases_in_month(month);
+            if cases.len() < min_cases_per_month {
+                return None;
+            }
+            let ys: Vec<usize> = cases.iter().map(|c| ticket_binner.bin(c.tickets)).collect();
+            Some((cases, ys))
+        })
+        .collect();
+
+    // Metrics are scored independently; fan out, then sort (the stable sort
+    // over the order-preserving map keeps ties in `Metric::ALL` order, same
+    // as the sequential path).
+    let mut entries: Vec<MiEntry> =
+        mpa_exec::par_map(Metric::ALL.as_slice(), |mi_ix, &metric| {
             let mut total = 0.0;
-            let mut n_months = 0;
-            for &month in &months {
-                let cases: Vec<&Case> = table.cases_in_month(month);
-                if cases.len() < min_cases_per_month {
-                    continue;
-                }
+            for (cases, ys) in &month_cases {
                 let xs: Vec<usize> = cases
                     .iter()
                     .map(|c| metric_binners[mi_ix].bin(c.values[metric.index()]))
                     .collect();
-                let ys: Vec<usize> =
-                    cases.iter().map(|c| ticket_binner.bin(c.tickets)).collect();
-                total += mutual_information(&xs, &ys);
-                n_months += 1;
+                total += mutual_information(&xs, ys);
             }
-            MiEntry { metric, mi: if n_months > 0 { total / f64::from(n_months) } else { 0.0 } }
-        })
-        .collect();
+            let n_months = month_cases.len();
+            MiEntry { metric, mi: if n_months > 0 { total / n_months as f64 } else { 0.0 } }
+        });
     entries.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("finite MI"));
     entries
 }
@@ -91,13 +99,16 @@ pub fn cmi_ranking(table: &CaseTable) -> Vec<CmiEntry> {
         .map(|&m| binned(&table.column(m), DEPENDENCE_BINS))
         .collect();
 
-    let mut entries = Vec::new();
-    for i in 0..Metric::ALL.len() {
-        for j in (i + 1)..Metric::ALL.len() {
-            let cmi = conditional_mutual_information(&binned_cols[i], &binned_cols[j], &ys);
-            entries.push(CmiEntry { a: Metric::ALL[i], b: Metric::ALL[j], cmi });
-        }
-    }
+    // All ~378 pairs are independent given the binned columns; fan out and
+    // sort. Pair order (hence tie order after the stable sort) matches the
+    // sequential double loop.
+    let pairs: Vec<(usize, usize)> = (0..Metric::ALL.len())
+        .flat_map(|i| ((i + 1)..Metric::ALL.len()).map(move |j| (i, j)))
+        .collect();
+    let mut entries = mpa_exec::par_map(&pairs, |_, &(i, j)| {
+        let cmi = conditional_mutual_information(&binned_cols[i], &binned_cols[j], &ys);
+        CmiEntry { a: Metric::ALL[i], b: Metric::ALL[j], cmi }
+    });
     entries.sort_by(|a, b| b.cmi.partial_cmp(&a.cmi).expect("finite CMI"));
     entries
 }

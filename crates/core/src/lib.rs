@@ -25,6 +25,13 @@ pub mod dependence;
 pub mod predict;
 pub mod report;
 
+/// The deterministic data-parallel execution engine (re-export of
+/// [`mpa_exec`]): worker-thread configuration, order-preserving parallel
+/// maps and per-stream RNG seed derivation.
+pub mod exec {
+    pub use mpa_exec::*;
+}
+
 pub use causal::{analyze_treatment, CausalAnalysis, CausalConfig, ComparisonResult};
 pub use compare::{compare_survey, Agreement, OpinionEvidence};
 pub use dependence::{cmi_ranking, mi_ranking, CmiEntry, MiEntry};

@@ -32,8 +32,16 @@ pub trait Classifier {
     fn predict(&self, features: &[u8]) -> u8;
 
     /// Predict every instance of a set.
-    fn predict_all(&self, set: &LearnSet) -> Vec<u8> {
-        set.instances().iter().map(|i| self.predict(&i.features)).collect()
+    ///
+    /// Instances are independent, so prediction is chunked across the
+    /// configured worker threads; outputs stay in instance order.
+    fn predict_all(&self, set: &LearnSet) -> Vec<u8>
+    where
+        Self: Sync + Sized,
+    {
+        mpa_exec::par_chunk_map(set.instances(), 512, |chunk| {
+            chunk.iter().map(|i| self.predict(&i.features)).collect()
+        })
     }
 }
 

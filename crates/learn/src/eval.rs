@@ -93,12 +93,16 @@ pub fn evaluate<C: Classifier>(model: &C, set: &LearnSet) -> Evaluation {
 /// Seeded k-fold cross-validation. `train` receives each fold's training
 /// subset and returns a fitted classifier; results are merged across folds.
 ///
+/// Folds are trained and evaluated in parallel (they share nothing but the
+/// read-only set and the up-front shuffle), then merged in fold order, so
+/// the result is identical at any `mpa_exec` thread count.
+///
 /// # Panics
 /// Panics if `k < 2` or the set has fewer than `k` instances.
-pub fn cross_validate<C, F>(set: &LearnSet, k: usize, seed: u64, mut train: F) -> Evaluation
+pub fn cross_validate<C, F>(set: &LearnSet, k: usize, seed: u64, train: F) -> Evaluation
 where
     C: Classifier,
-    F: FnMut(&LearnSet) -> C,
+    F: Fn(&LearnSet) -> C + Sync,
 {
     assert!(k >= 2, "need at least 2 folds");
     assert!(set.len() >= k, "fewer instances than folds");
@@ -107,8 +111,8 @@ where
     let mut order: Vec<usize> = (0..set.len()).collect();
     s.shuffle(&mut order);
 
-    let mut result = Evaluation::new(set.n_classes());
-    for fold in 0..k {
+    let folds: Vec<usize> = (0..k).collect();
+    let fold_evals = mpa_exec::par_map(&folds, |_, &fold| {
         let test_ix: Vec<usize> =
             order.iter().copied().skip(fold).step_by(k).collect();
         let test_set: std::collections::BTreeSet<usize> = test_ix.iter().copied().collect();
@@ -116,7 +120,12 @@ where
             (0..set.len()).filter(|i| !test_set.contains(i)).collect();
         let model = train(&set.subset(&train_ix));
         let test = set.subset(&test_ix);
-        result.merge(&evaluate(&model, &test));
+        evaluate(&model, &test)
+    });
+
+    let mut result = Evaluation::new(set.n_classes());
+    for ev in &fold_evals {
+        result.merge(ev);
     }
     result
 }
@@ -181,7 +190,7 @@ mod tests {
     #[test]
     fn cross_validation_on_learnable_rule_is_accurate() {
         let set = rule_set(200);
-        let ev = cross_validate(&set, 5, 7, |train| DecisionTree::fit_default(train));
+        let ev = cross_validate(&set, 5, 7, DecisionTree::fit_default);
         assert_eq!(ev.n, 200, "every instance tested exactly once");
         assert!(ev.accuracy() > 0.95, "accuracy {}", ev.accuracy());
     }
@@ -189,15 +198,15 @@ mod tests {
     #[test]
     fn cross_validation_of_majority_matches_base_rate() {
         let set = rule_set(200); // 50/50 split
-        let ev = cross_validate(&set, 4, 7, |train| MajorityClassifier::fit(train));
+        let ev = cross_validate(&set, 4, 7, MajorityClassifier::fit);
         assert!((ev.accuracy() - 0.5).abs() < 0.1, "accuracy {}", ev.accuracy());
     }
 
     #[test]
     fn cv_is_deterministic_per_seed() {
         let set = rule_set(100);
-        let a = cross_validate(&set, 5, 3, |t| DecisionTree::fit_default(t));
-        let b = cross_validate(&set, 5, 3, |t| DecisionTree::fit_default(t));
+        let a = cross_validate(&set, 5, 3, DecisionTree::fit_default);
+        let b = cross_validate(&set, 5, 3, DecisionTree::fit_default);
         assert_eq!(a, b);
     }
 }

@@ -72,8 +72,6 @@ impl RandomForest {
     pub fn fit(set: &LearnSet, config: ForestConfig) -> Self {
         assert!(!set.is_empty(), "cannot train a forest on an empty dataset");
         assert!(config.n_trees >= 1, "need at least one tree");
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut s = Sampler::new(&mut rng);
         let n = set.len();
         let p = set.n_features();
         let subset_size = (p as f64).sqrt().ceil() as usize;
@@ -89,8 +87,13 @@ impl RandomForest {
             .map(|pool| if pool.is_empty() { 0.0 } else { n as f64 / pool.len() as f64 })
             .collect();
 
-        let mut trees = Vec::with_capacity(config.n_trees);
-        for _ in 0..config.n_trees {
+        // Each tree draws from its own RNG stream keyed by (forest seed,
+        // tree index), so trees can be fitted on any number of threads and
+        // the forest comes out identical.
+        let tree_ixs: Vec<u64> = (0..config.n_trees as u64).collect();
+        let trees = mpa_exec::par_map(&tree_ixs, |_, &tree_ix| {
+            let mut rng = StdRng::seed_from_u64(mpa_exec::stream_seed(config.seed, tree_ix));
+            let mut s = Sampler::new(&mut rng);
             // Bootstrap.
             let sample_ix: Vec<usize> = match config.variant {
                 ForestVariant::Plain | ForestVariant::Weighted => {
@@ -140,8 +143,8 @@ impl RandomForest {
                 })
                 .collect();
             let boot = set.with_instances(instances);
-            trees.push((DecisionTree::fit(&boot, config.tree), feature_ix));
-        }
+            (DecisionTree::fit(&boot, config.tree), feature_ix)
+        });
         Self { trees, n_classes: set.n_classes() }
     }
 

@@ -35,7 +35,7 @@ pub use baseline::MajorityClassifier;
 pub use boost::{AdaBoost, BoostMode};
 pub use data::{Classifier, Instance, LearnSet};
 pub use eval::{cross_validate, evaluate, Evaluation};
-pub use forest::{ForestVariant, RandomForest};
+pub use forest::{ForestConfig, ForestVariant, RandomForest};
 pub use sampling::oversample;
 pub use svm::LinearSvm;
 pub use tree::{DecisionTree, TreeConfig};

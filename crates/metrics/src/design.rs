@@ -286,15 +286,19 @@ mod tests {
     fn aggregates_vlans_and_protocols_across_devices() {
         let devices = vec![dev(0, Role::Switch, 4000), dev(1, Role::Switch, 4000)];
         let network = net(devices, Topology::new());
-        let mut f0 = ConfigFacts::default();
-        f0.vlan_ids = [10, 20].into_iter().collect();
+        let mut f0 = ConfigFacts {
+            vlan_ids: [10, 20].into_iter().collect(),
+            intra_refs: 4,
+            ..Default::default()
+        };
         f0.l2_protocols.insert(mpa_config::facts::L2Protocol::Vlan);
         f0.l2_protocols.insert(mpa_config::facts::L2Protocol::SpanningTree);
-        f0.intra_refs = 4;
-        let mut f1 = ConfigFacts::default();
-        f1.vlan_ids = [20, 30].into_iter().collect();
+        let mut f1 = ConfigFacts {
+            vlan_ids: [20, 30].into_iter().collect(),
+            inter_ref_devices: vec![DeviceId(0)],
+            ..Default::default()
+        };
         f1.l2_protocols.insert(mpa_config::facts::L2Protocol::Vlan);
-        f1.inter_ref_devices = vec![DeviceId(0)];
         let facts = facts_with(vec![(0, f0), (1, f1)]);
         let m = compute_design(&network, &facts);
         assert_eq!(m.vlans, 3.0, "distinct union of vlan ids");

@@ -56,171 +56,192 @@ pub fn infer(dataset: &Dataset, delta_minutes: u64) -> Inference {
         }
     }
 
+    // Each network's inference reads only shared immutable state (dataset,
+    // ticket counts) and produces its own case rows, so networks fan out
+    // across worker threads; merging in network order keeps the CaseTable
+    // identical to a sequential run at any thread count.
+    let per_network = mpa_exec::par_map(&dataset.networks, |_, network| {
+        infer_network(dataset, network, &tickets, n_months, delta_minutes)
+    });
+
     let mut all_cases = Vec::new();
     let mut device_changes_by_net: BTreeMap<NetworkId, Vec<DeviceChange>> = BTreeMap::new();
-
-    for network in &dataset.networks {
-        let roles: BTreeMap<DeviceId, Role> =
-            network.devices.iter().map(|d| (d.id, d.role)).collect();
-
-        // Single parse pass per device: change records + month-end facts.
-        let mut net_changes: Vec<DeviceChange> = Vec::new();
-        // facts_by_month[m][device] = facts at end of month m.
-        let mut facts_by_month: Vec<BTreeMap<DeviceId, ConfigFacts>> =
-            vec![BTreeMap::new(); n_months];
-
-        for device in &network.devices {
-            let history = dataset.archive.device_history(device.id);
-            if history.is_empty() {
-                continue;
-            }
-            let parsed: Vec<Option<ParsedConfig>> = history
-                .iter()
-                .map(|s| parse_config(&s.text, device.dialect()).ok())
-                .collect();
-
-            // Change records from successive parseable snapshots.
-            let mut prev_ix: Option<usize> = None;
-            for (ix, p) in parsed.iter().enumerate() {
-                if p.is_none() {
-                    continue;
-                }
-                if let Some(pi) = prev_ix {
-                    let old = parsed[pi].as_ref().expect("tracked as parseable");
-                    let new = p.as_ref().expect("checked");
-                    let stanza_changes = diff_configs(old, new);
-                    if !stanza_changes.is_empty() {
-                        let mut types: Vec<ChangeType> =
-                            stanza_changes.iter().map(|c| c.change_type).collect();
-                        types.sort_unstable();
-                        types.dedup();
-                        let meta = &history[ix].meta;
-                        net_changes.push(DeviceChange {
-                            device: device.id,
-                            time: meta.time,
-                            login: meta.login.clone(),
-                            automated: dataset.directory.is_automated(&meta.login),
-                            types,
-                            n_stanzas: stanza_changes.len(),
-                        });
-                    }
-                }
-                prev_ix = Some(ix);
-            }
-
-            // Month-end facts: the latest parseable snapshot at or before
-            // each month boundary. Facts are memoized per snapshot index so
-            // a quiet device is only analyzed once.
-            let mut facts_cache: BTreeMap<usize, ConfigFacts> = BTreeMap::new();
-            for month in 0..n_months {
-                let end = dataset.period.month_end(month);
-                // partition_point over history times (sorted per archive).
-                let upto = history.partition_point(|s| s.meta.time < end);
-                let Some(ix) = (0..upto).rev().find(|&i| parsed[i].is_some()) else {
-                    continue;
-                };
-                let facts = facts_cache
-                    .entry(ix)
-                    .or_insert_with(|| extract_facts(parsed[ix].as_ref().expect("parseable")));
-                facts_by_month[month].insert(device.id, facts.clone());
-            }
-        }
-
-        net_changes.sort_by_key(|c| (c.time, c.device));
-
-        for month in 0..n_months {
-            if !dataset.is_logged(network.id, month) {
-                continue;
-            }
-            let start = dataset.period.month_start(month);
-            let end = dataset.period.month_end(month);
-            let month_changes: Vec<DeviceChange> = net_changes
-                .iter()
-                .filter(|c| c.time >= start && c.time < end)
-                .cloned()
-                .collect();
-            let events = group_events(&month_changes, delta_minutes);
-
-            let design = compute_design(network, &facts_by_month[month]);
-
-            let n_changes = month_changes.len() as f64;
-            let devices_changed: std::collections::BTreeSet<DeviceId> =
-                month_changes.iter().map(|c| c.device).collect();
-            let automated = month_changes.iter().filter(|c| c.automated).count() as f64;
-            let mut types: Vec<ChangeType> =
-                month_changes.iter().flat_map(|c| c.types.iter().copied()).collect();
-            types.sort_unstable();
-            types.dedup();
-
-            let n_events = events.len() as f64;
-            let frac_events = |pred: &dyn Fn(&crate::events::ChangeEvent) -> bool| {
-                if events.is_empty() {
-                    0.0
-                } else {
-                    events.iter().filter(|e| pred(e)).count() as f64 / n_events
-                }
-            };
-            let avg_event_size = if events.is_empty() {
-                0.0
-            } else {
-                events.iter().map(|e| e.n_devices() as f64).sum::<f64>() / n_events
-            };
-
-            let mut values = vec![0.0; N_METRICS];
-            let mut set = |m: Metric, v: f64| values[m.index()] = v;
-            set(Metric::Workloads, design.workloads);
-            set(Metric::Devices, design.devices);
-            set(Metric::Vendors, design.vendors);
-            set(Metric::Models, design.models);
-            set(Metric::Roles, design.roles);
-            set(Metric::FirmwareVersions, design.firmware_versions);
-            set(Metric::HardwareEntropy, design.hardware_entropy);
-            set(Metric::FirmwareEntropy, design.firmware_entropy);
-            set(Metric::L2Protocols, design.l2_protocols);
-            set(Metric::L3Protocols, design.l3_protocols);
-            set(Metric::Vlans, design.vlans);
-            set(Metric::BgpInstances, design.bgp_instances);
-            set(Metric::OspfInstances, design.ospf_instances);
-            set(Metric::AvgBgpInstanceSize, design.avg_bgp_instance_size);
-            set(Metric::AvgOspfInstanceSize, design.avg_ospf_instance_size);
-            set(Metric::IntraComplexity, design.intra_complexity);
-            set(Metric::InterComplexity, design.inter_complexity);
-            set(Metric::ConfigChanges, n_changes);
-            set(Metric::DevicesChanged, devices_changed.len() as f64);
-            set(
-                Metric::FracDevicesChanged,
-                if network.devices.is_empty() {
-                    0.0
-                } else {
-                    devices_changed.len() as f64 / network.devices.len() as f64
-                },
-            );
-            set(Metric::FracAutomated, if n_changes > 0.0 { automated / n_changes } else { 0.0 });
-            set(Metric::ChangeTypes, types.len() as f64);
-            set(Metric::ChangeEvents, n_events);
-            set(Metric::AvgDevicesPerEvent, avg_event_size);
-            set(Metric::FracIfaceEvents, frac_events(&|e| e.touches(ChangeType::Interface)));
-            set(Metric::FracAclEvents, frac_events(&|e| e.touches(ChangeType::Acl)));
-            set(Metric::FracRouterEvents, frac_events(&|e| e.touches(ChangeType::Router)));
-            set(
-                Metric::FracMboxEvents,
-                frac_events(&|e| {
-                    e.devices.iter().any(|d| roles.get(d).is_some_and(|r| r.is_middlebox()))
-                }),
-            );
-
-            all_cases.push(Case {
-                network: network.id,
-                month,
-                values,
-                tickets: tickets.get(&(network.id, month)).copied().unwrap_or(0.0),
-            });
-        }
-
-        device_changes_by_net.insert(network.id, net_changes);
+    for (network_id, cases, net_changes) in per_network {
+        all_cases.extend(cases);
+        device_changes_by_net.insert(network_id, net_changes);
     }
 
     Inference { table: CaseTable::new(all_cases), device_changes: device_changes_by_net }
+}
+
+/// Infer all case rows and change records for one network (pure w.r.t. the
+/// shared dataset; the parallel unit of `infer`).
+fn infer_network(
+    dataset: &Dataset,
+    network: &mpa_model::Network,
+    tickets: &BTreeMap<(NetworkId, usize), f64>,
+    n_months: usize,
+    delta_minutes: u64,
+) -> (NetworkId, Vec<Case>, Vec<DeviceChange>) {
+    let mut all_cases = Vec::new();
+    let roles: BTreeMap<DeviceId, Role> =
+        network.devices.iter().map(|d| (d.id, d.role)).collect();
+
+    // Single parse pass per device: change records + month-end facts.
+    let mut net_changes: Vec<DeviceChange> = Vec::new();
+    // facts_by_month[m][device] = facts at end of month m.
+    let mut facts_by_month: Vec<BTreeMap<DeviceId, ConfigFacts>> =
+        vec![BTreeMap::new(); n_months];
+
+    for device in &network.devices {
+        let history = dataset.archive.device_history(device.id);
+        if history.is_empty() {
+            continue;
+        }
+        let parsed: Vec<Option<ParsedConfig>> = history
+            .iter()
+            .map(|s| parse_config(&s.text, device.dialect()).ok())
+            .collect();
+
+        // Change records from successive parseable snapshots.
+        let mut prev_ix: Option<usize> = None;
+        for (ix, p) in parsed.iter().enumerate() {
+            if p.is_none() {
+                continue;
+            }
+            if let Some(pi) = prev_ix {
+                let old = parsed[pi].as_ref().expect("tracked as parseable");
+                let new = p.as_ref().expect("checked");
+                let stanza_changes = diff_configs(old, new);
+                if !stanza_changes.is_empty() {
+                    let mut types: Vec<ChangeType> =
+                        stanza_changes.iter().map(|c| c.change_type).collect();
+                    types.sort_unstable();
+                    types.dedup();
+                    let meta = &history[ix].meta;
+                    net_changes.push(DeviceChange {
+                        device: device.id,
+                        time: meta.time,
+                        login: meta.login.clone(),
+                        automated: dataset.directory.is_automated(&meta.login),
+                        types,
+                        n_stanzas: stanza_changes.len(),
+                    });
+                }
+            }
+            prev_ix = Some(ix);
+        }
+
+        // Month-end facts: the latest parseable snapshot at or before
+        // each month boundary. Facts are memoized per snapshot index so
+        // a quiet device is only analyzed once.
+        let mut facts_cache: BTreeMap<usize, ConfigFacts> = BTreeMap::new();
+        for (month, month_facts) in facts_by_month.iter_mut().enumerate() {
+            let end = dataset.period.month_end(month);
+            // partition_point over history times (sorted per archive).
+            let upto = history.partition_point(|s| s.meta.time < end);
+            let Some(ix) = (0..upto).rev().find(|&i| parsed[i].is_some()) else {
+                continue;
+            };
+            let facts = facts_cache
+                .entry(ix)
+                .or_insert_with(|| extract_facts(parsed[ix].as_ref().expect("parseable")));
+            month_facts.insert(device.id, facts.clone());
+        }
+    }
+
+    net_changes.sort_by_key(|c| (c.time, c.device));
+
+    for (month, month_facts) in facts_by_month.iter().enumerate() {
+        if !dataset.is_logged(network.id, month) {
+            continue;
+        }
+        let start = dataset.period.month_start(month);
+        let end = dataset.period.month_end(month);
+        let month_changes: Vec<DeviceChange> = net_changes
+            .iter()
+            .filter(|c| c.time >= start && c.time < end)
+            .cloned()
+            .collect();
+        let events = group_events(&month_changes, delta_minutes);
+
+        let design = compute_design(network, month_facts);
+
+        let n_changes = month_changes.len() as f64;
+        let devices_changed: std::collections::BTreeSet<DeviceId> =
+            month_changes.iter().map(|c| c.device).collect();
+        let automated = month_changes.iter().filter(|c| c.automated).count() as f64;
+        let mut types: Vec<ChangeType> =
+            month_changes.iter().flat_map(|c| c.types.iter().copied()).collect();
+        types.sort_unstable();
+        types.dedup();
+
+        let n_events = events.len() as f64;
+        let frac_events = |pred: &dyn Fn(&crate::events::ChangeEvent) -> bool| {
+            if events.is_empty() {
+                0.0
+            } else {
+                events.iter().filter(|e| pred(e)).count() as f64 / n_events
+            }
+        };
+        let avg_event_size = if events.is_empty() {
+            0.0
+        } else {
+            events.iter().map(|e| e.n_devices() as f64).sum::<f64>() / n_events
+        };
+
+        let mut values = vec![0.0; N_METRICS];
+        let mut set = |m: Metric, v: f64| values[m.index()] = v;
+        set(Metric::Workloads, design.workloads);
+        set(Metric::Devices, design.devices);
+        set(Metric::Vendors, design.vendors);
+        set(Metric::Models, design.models);
+        set(Metric::Roles, design.roles);
+        set(Metric::FirmwareVersions, design.firmware_versions);
+        set(Metric::HardwareEntropy, design.hardware_entropy);
+        set(Metric::FirmwareEntropy, design.firmware_entropy);
+        set(Metric::L2Protocols, design.l2_protocols);
+        set(Metric::L3Protocols, design.l3_protocols);
+        set(Metric::Vlans, design.vlans);
+        set(Metric::BgpInstances, design.bgp_instances);
+        set(Metric::OspfInstances, design.ospf_instances);
+        set(Metric::AvgBgpInstanceSize, design.avg_bgp_instance_size);
+        set(Metric::AvgOspfInstanceSize, design.avg_ospf_instance_size);
+        set(Metric::IntraComplexity, design.intra_complexity);
+        set(Metric::InterComplexity, design.inter_complexity);
+        set(Metric::ConfigChanges, n_changes);
+        set(Metric::DevicesChanged, devices_changed.len() as f64);
+        set(
+            Metric::FracDevicesChanged,
+            if network.devices.is_empty() {
+                0.0
+            } else {
+                devices_changed.len() as f64 / network.devices.len() as f64
+            },
+        );
+        set(Metric::FracAutomated, if n_changes > 0.0 { automated / n_changes } else { 0.0 });
+        set(Metric::ChangeTypes, types.len() as f64);
+        set(Metric::ChangeEvents, n_events);
+        set(Metric::AvgDevicesPerEvent, avg_event_size);
+        set(Metric::FracIfaceEvents, frac_events(&|e| e.touches(ChangeType::Interface)));
+        set(Metric::FracAclEvents, frac_events(&|e| e.touches(ChangeType::Acl)));
+        set(Metric::FracRouterEvents, frac_events(&|e| e.touches(ChangeType::Router)));
+        set(
+            Metric::FracMboxEvents,
+            frac_events(&|e| {
+                e.devices.iter().any(|d| roles.get(d).is_some_and(|r| r.is_middlebox()))
+            }),
+        );
+
+        all_cases.push(Case {
+            network: network.id,
+            month,
+            values,
+            tickets: tickets.get(&(network.id, month)).copied().unwrap_or(0.0),
+        });
+    }
+
+    (network.id, all_cases, net_changes)
 }
 
 #[cfg(test)]

@@ -58,9 +58,8 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -73,9 +72,7 @@ impl Matrix {
         assert_eq!(w.len(), self.rows, "weight vector length mismatch");
         let p = self.cols;
         let mut g = Matrix::zeros(p, p);
-        for r in 0..self.rows {
-            let row = &self.data[r * p..(r + 1) * p];
-            let wr = w[r];
+        for (row, &wr) in self.data.chunks_exact(p).zip(w) {
             if wr == 0.0 {
                 continue;
             }
@@ -102,9 +99,7 @@ impl Matrix {
     pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let vr = v[r];
+        for (row, &vr) in self.data.chunks_exact(self.cols).zip(v) {
             for (o, &a) in out.iter_mut().zip(row) {
                 *o += a * vr;
             }

@@ -32,17 +32,11 @@ pub struct GeneratedNetwork {
     pub next_port: BTreeMap<DeviceId, u16>,
 }
 
-/// Generate a network from its profile. `next_device_id` is the
-/// organization-wide device id allocator.
-pub fn generate_network<R: Rng>(
-    profile: &NetworkProfile,
-    next_device_id: &mut u32,
-    rng: &mut R,
-) -> GeneratedNetwork {
-    let mut s = Sampler::new(rng);
-    let net_id = profile.id;
-
-    // ---- role mix --------------------------------------------------------
+/// The role mix of a network: the first draws of network generation.
+///
+/// Factored out so [`device_count`] can replay exactly these draws from a
+/// fresh per-network RNG stream without materializing the network.
+fn role_mix<R: Rng>(profile: &NetworkProfile, s: &mut Sampler<R>) -> Vec<Role> {
     let n = if profile.interconnect { profile.n_devices.clamp(2, 24) } else { profile.n_devices };
     let mut roles: Vec<Role> = Vec::with_capacity(n);
     if profile.interconnect {
@@ -64,6 +58,33 @@ pub fn generate_network<R: Rng>(
         roles.extend(std::iter::repeat_n(Role::LoadBalancer, n_lb));
         roles.extend(std::iter::repeat_n(Role::Adc, n_adc));
     }
+    roles
+}
+
+/// How many devices [`generate_network`] will create for this profile, given
+/// a fresh RNG seeded with the network's stream seed.
+///
+/// Used by the parallel generation path to pre-assign each network a dense
+/// contiguous device-id range: the count depends on RNG draws (the role
+/// mix), so it cannot be read off the profile alone, and ids must stay
+/// dense because the `10.H.L.1` loopback address plan caps them at 65535.
+pub fn device_count<R: Rng>(profile: &NetworkProfile, rng: &mut R) -> usize {
+    let mut s = Sampler::new(rng);
+    role_mix(profile, &mut s).len()
+}
+
+/// Generate a network from its profile. `next_device_id` is the
+/// organization-wide device id allocator.
+pub fn generate_network<R: Rng>(
+    profile: &NetworkProfile,
+    next_device_id: &mut u32,
+    rng: &mut R,
+) -> GeneratedNetwork {
+    let mut s = Sampler::new(rng);
+    let net_id = profile.id;
+
+    // ---- role mix --------------------------------------------------------
+    let roles = role_mix(profile, &mut s);
 
     // ---- per-role model palettes (heterogeneity) --------------------------
     // For each role: how many (vendor, generation) combinations are in use.

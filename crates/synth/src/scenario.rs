@@ -10,7 +10,7 @@ use crate::netgen::generate_network;
 use crate::ops::{archive_snapshots, simulate_network, SimConfig};
 use crate::profile::{sample_profiles, OrgConfig};
 use mpa_config::{Archive, UserDirectory};
-use mpa_model::{Inventory, InventoryRecord, Month, StudyPeriod};
+use mpa_model::{Inventory, InventoryRecord, Month, StudyPeriod, TicketId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -94,12 +94,58 @@ impl Scenario {
 
     /// Generate the full dataset: profiles → networks → 17-month simulation
     /// → archive/tickets/coverage/ground-truth.
+    ///
+    /// Networks fan out across the configured worker threads
+    /// (`mpa_exec::threads()`): each network draws from its own RNG stream
+    /// (`stream_seed(org.seed, network_id)`) and allocates device ids from
+    /// a pre-assigned dense range, so the result is bit-for-bit identical
+    /// at any thread count. Only ticket ids are allocated org-wide; they
+    /// are assigned during the (deterministic, network-ordered) merge.
     pub fn generate(&self) -> Dataset {
         let period = StudyPeriod::new(Month::new(2013, 8).expect("valid"), self.org.n_months);
         let mut rng = StdRng::seed_from_u64(self.org.seed);
         let profiles = sample_profiles(&self.org, &mut rng);
 
-        let mut next_device_id = 0u32;
+        let sim = SimConfig { missing_month_rate: self.org.missing_month_rate };
+
+        // Device ids must be assigned inside `generate_network` (they are
+        // rendered into hostnames, loopback addresses and config text), so
+        // each network gets a pre-assigned dense contiguous id range. The
+        // count depends on the network's first RNG draws (the role mix), so
+        // a cheap sequential pre-pass replays exactly those draws from the
+        // same per-network stream seed the worker will use; ids stay dense
+        // (the `10.H.L.1` address plan caps them at 65535) and identical at
+        // any thread count.
+        let mut next_base = 0u32;
+        let work: Vec<(&crate::profile::NetworkProfile, u32)> = profiles
+            .iter()
+            .map(|profile| {
+                let seed = mpa_exec::stream_seed(self.org.seed, u64::from(profile.id.0));
+                let mut rng = StdRng::seed_from_u64(seed);
+                let base = next_base;
+                next_base += crate::netgen::device_count(profile, &mut rng) as u32;
+                (profile, base)
+            })
+            .collect();
+
+        let per_network = mpa_exec::par_map(&work, |_, &(profile, base)| {
+            let seed = mpa_exec::stream_seed(self.org.seed, u64::from(profile.id.0));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut next_device_id = base;
+            let mut gen = generate_network(profile, &mut next_device_id, &mut rng);
+            let mut local_ticket_seq = 0u32;
+            let out = simulate_network(
+                &mut gen,
+                profile,
+                &period,
+                &self.health,
+                sim,
+                &mut local_ticket_seq,
+                &mut rng,
+            );
+            (gen, out)
+        });
+
         let mut ticket_seq = 0u32;
         let mut networks = Vec::with_capacity(profiles.len());
         let mut inventory_records = Vec::new();
@@ -108,24 +154,19 @@ impl Scenario {
         let mut coverage = std::collections::BTreeSet::new();
         let mut ground_truth = Vec::new();
 
-        let sim = SimConfig { missing_month_rate: self.org.missing_month_rate };
-        for profile in &profiles {
-            let mut gen = generate_network(profile, &mut next_device_id, &mut rng);
-            let out = simulate_network(
-                &mut gen,
-                profile,
-                &period,
-                &self.health,
-                sim,
-                &mut ticket_seq,
-                &mut rng,
-            );
+        for (gen, out) in per_network {
             for d in &gen.network.devices {
                 let site = format!("dc{}/r{}", d.network.0 % 8, d.id.0 % 40);
                 inventory_records.push(InventoryRecord::from_device(d, site));
             }
             archive_snapshots(&mut archive, out.snapshots);
-            tickets.extend(out.tickets);
+            // Re-key the per-network ticket sequences into one dense
+            // org-wide sequence (ids are referenced nowhere else).
+            tickets.extend(out.tickets.into_iter().map(|mut t| {
+                ticket_seq += 1;
+                t.id = TicketId(ticket_seq);
+                t
+            }));
             for t in &out.truth {
                 if t.logged {
                     coverage.insert((t.network, t.month));

@@ -1,0 +1,42 @@
+//! The execution engine's core guarantee: pipeline output is bit-for-bit
+//! identical at any worker-thread count.
+//!
+//! One test drives the full pipeline — generation, inference, MI ranking,
+//! forest training, cross-validation — at 1, 2 and 8 threads and asserts
+//! the results are equal. (A single test function, because the thread
+//! count is process-global and the test harness runs functions
+//! concurrently.)
+
+use mpa::analytics::exec;
+use mpa::learn::{ForestConfig, RandomForest};
+use mpa::prelude::*;
+
+#[test]
+fn pipeline_output_is_identical_at_1_2_and_8_threads() {
+    let saved = exec::threads();
+    let mut reference: Option<(CaseTable, Vec<mpa::analytics::MiEntry>, String, String)> = None;
+    for threads in [1usize, 2, 8] {
+        exec::set_threads(threads);
+
+        let dataset = Scenario::tiny().generate();
+        let table = infer_case_table(&dataset);
+        let mi = mi_ranking(&table, 10);
+        let set = build_learnset(&table, HealthClasses::Two);
+        let forest = format!("{:?}", RandomForest::fit(&set, ForestConfig::default()));
+        let cv = format!(
+            "{:?}",
+            cross_validation(&table, HealthClasses::Two, ModelKind::DtAbOs, 7)
+        );
+
+        match &reference {
+            None => reference = Some((table, mi, forest, cv)),
+            Some((t0, m0, f0, c0)) => {
+                assert_eq!(t0, &table, "case table diverged at {threads} threads");
+                assert_eq!(m0, &mi, "MI ranking diverged at {threads} threads");
+                assert_eq!(f0, &forest, "forest diverged at {threads} threads");
+                assert_eq!(c0, &cv, "cross-validation diverged at {threads} threads");
+            }
+        }
+    }
+    exec::set_threads(saved);
+}
