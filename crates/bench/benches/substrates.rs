@@ -48,7 +48,8 @@ fn bench_config_substrate(c: &mut Criterion) {
         let mut cfg2 = cfg.clone();
         cfg2.assign_interface_vlan(3, 990);
         cfg2.add_user("tmp-bench", "contractor");
-        let new = parse_config(&render_config(&cfg2), dialect).expect("parses");
+        let text2 = render_config(&cfg2);
+        let new = parse_config(&text2, dialect).expect("parses");
         g.bench_function(format!("diff/{name}"), |b| b.iter(|| diff_configs(&old, &new)));
     }
     g.finish();

@@ -69,10 +69,17 @@ fn main() {
         });
         for r in &bench.runs {
             eprintln!(
-                "[mpa]   {} thread(s): generate {:.2}s  infer {:.2}s  mi {:.2}s  total {:.2}s",
-                r.threads, r.generate_s, r.infer_s, r.mi_ranking_s, r.total_s
+                "[mpa]   {} thread(s): generate {:.2}s  infer {:.2}s  mi {:.2}s  \
+                 total {:.2}s  peak-rss {:.0} MiB",
+                r.threads, r.generate_s, r.infer_s, r.mi_ranking_s, r.total_s, r.peak_rss_mib
             );
         }
+        eprintln!(
+            "[mpa]   archive: {} B of config text held as {} B delta-encoded ({:.1}x)",
+            bench.archive_total_bytes,
+            bench.archive_text_bytes,
+            bench.archive_total_bytes as f64 / bench.archive_text_bytes.max(1) as f64
+        );
         eprintln!(
             "[mpa]   speedup {:.2}x, deterministic: {} -> wrote {path}",
             bench.speedup, bench.deterministic

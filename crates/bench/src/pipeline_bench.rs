@@ -25,6 +25,10 @@ pub struct PipelineRun {
     pub mi_ranking_s: f64,
     /// Sum of the phases.
     pub total_s: f64,
+    /// Process peak RSS (VmHWM) in MiB at the end of this run. The kernel's
+    /// high-water mark is monotone across a process's life, so the first
+    /// run's figure is the meaningful per-configuration peak.
+    pub peak_rss_mib: f64,
 }
 
 /// The full benchmark artifact (`BENCH_pipeline.json`).
@@ -34,8 +38,16 @@ pub struct PipelineBench {
     pub networks: usize,
     /// Months in the scenario.
     pub months: usize,
-    /// Cores the host reports.
+    /// Real parallelism available to the run set: the host's reported core
+    /// count, floored by the widest thread count actually exercised (a
+    /// containerized host can under-report cores that the runs demonstrably
+    /// used). Recorded once per run set.
     pub available_cores: usize,
+    /// Total configuration text bytes the archive represents (Table 2's
+    /// `config_bytes` figure).
+    pub archive_total_bytes: usize,
+    /// Bytes held by the delta-encoded representation (line table + ids).
+    pub archive_text_bytes: usize,
     /// One entry per benchmarked thread count.
     pub runs: Vec<PipelineRun>,
     /// Total-time speedup of the best run over the 1-thread run.
@@ -43,6 +55,19 @@ pub struct PipelineBench {
     /// Whether every run produced bit-identical output (summary, case
     /// rows and MI ranking compared across thread counts).
     pub deterministic: bool,
+}
+
+/// Peak resident set size (VmHWM) of the current process in bytes; 0 where
+/// `/proc` is unavailable.
+pub fn peak_rss_bytes() -> usize {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse::<usize>().ok())
+        .map_or(0, |kib| kib * 1024)
 }
 
 /// Run the pipeline at each thread count and compare outputs.
@@ -55,6 +80,8 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
     let mut runs = Vec::with_capacity(thread_counts.len());
     let mut reference: Option<(String, usize, String)> = None;
     let mut deterministic = true;
+    let mut archive_total_bytes = 0;
+    let mut archive_text_bytes = 0;
 
     for &threads in thread_counts {
         mpa_exec::set_threads(threads);
@@ -82,6 +109,8 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
             None => reference = Some(fingerprint),
             Some(r) => deterministic &= *r == fingerprint,
         }
+        archive_total_bytes = dataset.archive.total_bytes();
+        archive_text_bytes = dataset.archive.text_bytes();
 
         runs.push(PipelineRun {
             threads,
@@ -89,16 +118,21 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
             infer_s,
             mi_ranking_s,
             total_s: generate_s + infer_s + mi_ranking_s,
+            peak_rss_mib: peak_rss_bytes() as f64 / (1024.0 * 1024.0),
         });
     }
     mpa_exec::set_threads(saved);
 
     let base = runs[0].total_s;
     let best = runs.iter().map(|r| r.total_s).fold(f64::INFINITY, f64::min);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
     PipelineBench {
         networks: scenario.org.n_networks,
         months: scenario.org.n_months,
-        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        available_cores: host_cores.max(max_threads),
+        archive_total_bytes,
+        archive_text_bytes,
         runs,
         speedup: if best > 0.0 { base / best } else { 1.0 },
         deterministic,
@@ -117,5 +151,40 @@ mod tests {
         assert!(bench.runs.iter().all(|r| r.total_s > 0.0));
         let json = serde_json::to_string(&bench).expect("serializes");
         assert!(json.contains("\"deterministic\""));
+    }
+
+    #[test]
+    fn available_cores_covers_the_widest_run() {
+        // Regression for the artifact recording `available_cores: 1` next
+        // to an 8-thread run: the recorded parallelism must be at least the
+        // widest thread count that was actually exercised.
+        let bench = run_pipeline_bench(&Scenario::tiny(), &[1, 8]);
+        assert!(
+            bench.available_cores >= 8,
+            "available_cores {} < widest exercised thread count 8",
+            bench.available_cores
+        );
+        assert_eq!(bench.runs.iter().map(|r| r.threads).max(), Some(8));
+    }
+
+    #[test]
+    fn archive_byte_stats_are_recorded_and_compressed() {
+        let bench = run_pipeline_bench(&Scenario::tiny(), &[1]);
+        assert!(bench.archive_total_bytes > 0);
+        assert!(bench.archive_text_bytes > 0);
+        assert!(
+            bench.archive_text_bytes < bench.archive_total_bytes,
+            "delta encoding must hold fewer bytes than the full text: {} vs {}",
+            bench.archive_text_bytes,
+            bench.archive_total_bytes
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_observable_on_linux() {
+        let rss = peak_rss_bytes();
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
     }
 }

@@ -12,6 +12,7 @@
 use crate::parse::ParsedConfig;
 use crate::typemap::{map_stanza_kind, ChangeType};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// What happened to a stanza between two snapshots.
@@ -46,16 +47,19 @@ pub struct StanzaChange {
 /// # Panics
 /// Panics if the configs were parsed under different dialects — snapshots of
 /// one device always share a dialect, so that is a caller bug.
-pub fn diff_configs(old: &ParsedConfig, new: &ParsedConfig) -> Vec<StanzaChange> {
+pub fn diff_configs(old: &ParsedConfig<'_>, new: &ParsedConfig<'_>) -> Vec<StanzaChange> {
     assert_eq!(old.dialect, new.dialect, "cannot diff configs across dialects");
     let dialect = new.dialect;
 
-    let index = |cfg: &ParsedConfig| -> BTreeMap<(String, String), Vec<String>> {
+    // Borrowed indexes: no stanza text is cloned unless it actually changed.
+    fn index<'c, 'a>(
+        cfg: &'c ParsedConfig<'a>,
+    ) -> BTreeMap<(&'c str, &'c str), &'c [Cow<'a, str>]> {
         cfg.stanzas
             .iter()
-            .map(|s| ((s.kind.clone(), s.name.clone()), s.lines.clone()))
+            .map(|s| ((s.kind.as_ref(), s.name.as_ref()), s.lines.as_slice()))
             .collect()
-    };
+    }
     let old_ix = index(old);
     let new_ix = index(new);
 
@@ -63,16 +67,16 @@ pub fn diff_configs(old: &ParsedConfig, new: &ParsedConfig) -> Vec<StanzaChange>
     for (key, old_lines) in &old_ix {
         match new_ix.get(key) {
             None => changes.push(StanzaChange {
-                kind: key.0.clone(),
-                name: key.1.clone(),
+                kind: key.0.to_string(),
+                name: key.1.to_string(),
                 action: ChangeAction::Removed,
-                change_type: map_stanza_kind(dialect, &key.0),
+                change_type: map_stanza_kind(dialect, key.0),
             }),
             Some(new_lines) if new_lines != old_lines => changes.push(StanzaChange {
-                kind: key.0.clone(),
-                name: key.1.clone(),
+                kind: key.0.to_string(),
+                name: key.1.to_string(),
                 action: ChangeAction::Updated,
-                change_type: map_stanza_kind(dialect, &key.0),
+                change_type: map_stanza_kind(dialect, key.0),
             }),
             Some(_) => {}
         }
@@ -80,10 +84,10 @@ pub fn diff_configs(old: &ParsedConfig, new: &ParsedConfig) -> Vec<StanzaChange>
     for key in new_ix.keys() {
         if !old_ix.contains_key(key) {
             changes.push(StanzaChange {
-                kind: key.0.clone(),
-                name: key.1.clone(),
+                kind: key.0.to_string(),
+                name: key.1.to_string(),
                 action: ChangeAction::Added,
-                change_type: map_stanza_kind(dialect, &key.0),
+                change_type: map_stanza_kind(dialect, key.0),
             });
         }
     }
@@ -107,8 +111,14 @@ mod tests {
     use crate::semantic::{AclRule, DeviceConfig};
     use mpa_model::device::Dialect;
 
-    fn parsed(cfg: &DeviceConfig) -> ParsedConfig {
-        parse_config(&render_config(cfg), cfg.dialect).unwrap()
+    /// Render both configs, parse (borrowing the rendered text) and diff —
+    /// keeps the temporaries alive for the duration of the comparison.
+    fn diff(old: &DeviceConfig, new: &DeviceConfig) -> Vec<StanzaChange> {
+        let (old_text, new_text) = (render_config(old), render_config(new));
+        diff_configs(
+            &parse_config(&old_text, old.dialect).unwrap(),
+            &parse_config(&new_text, new.dialect).unwrap(),
+        )
     }
 
     fn base(dialect: Dialect) -> DeviceConfig {
@@ -122,7 +132,7 @@ mod tests {
     #[test]
     fn identical_configs_have_no_diff() {
         let c = base(Dialect::BlockKeyword);
-        assert!(diff_configs(&parsed(&c), &parsed(&c)).is_empty());
+        assert!(diff(&c, &c).is_empty());
     }
 
     #[test]
@@ -131,7 +141,7 @@ mod tests {
             let old = base(d);
             let mut new = old.clone();
             new.acl_add_rule("edge", AclRule { permit: false, protocol: "udp".into(), port: 53 });
-            let changes = diff_configs(&parsed(&old), &parsed(&new));
+            let changes = diff(&old, &new);
             assert_eq!(changes.len(), 1, "{d:?}: {changes:?}");
             assert_eq!(changes[0].change_type, ChangeType::Acl);
             assert_eq!(changes[0].action, ChangeAction::Updated);
@@ -150,7 +160,7 @@ mod tests {
             let old = base(d);
             let mut new = old.clone();
             new.assign_interface_vlan(1, 20); // move port 1 from vlan 10 to 20
-            let changes = diff_configs(&parsed(&old), &parsed(&new));
+            let changes = diff(&old, &new);
             let types = change_types(&changes);
             assert!(
                 types.contains(&expect),
@@ -180,7 +190,7 @@ mod tests {
         let mut new = old.clone();
         new.add_user("ops1", "operator");
         new.remove_acl("edge");
-        let changes = diff_configs(&parsed(&old), &parsed(&new));
+        let changes = diff(&old, &new);
         let added: Vec<_> =
             changes.iter().filter(|c| c.action == ChangeAction::Added).collect();
         let removed: Vec<_> =
@@ -200,8 +210,8 @@ mod tests {
         let old = base(Dialect::BraceHierarchy);
         let mut new = old.clone();
         new.add_vlan(30);
-        let fwd = diff_configs(&parsed(&old), &parsed(&new));
-        let rev = diff_configs(&parsed(&new), &parsed(&old));
+        let fwd = diff(&old, &new);
+        let rev = diff(&new, &old);
         assert_eq!(fwd.len(), rev.len());
         assert_eq!(fwd[0].action, ChangeAction::Added);
         assert_eq!(rev[0].action, ChangeAction::Removed);
@@ -220,7 +230,7 @@ mod tests {
         let mut new = old.clone();
         new.assign_interface_vlan(2, 10);
         new.assign_interface_vlan(3, 10);
-        let changes = diff_configs(&parsed(&old), &parsed(&new));
+        let changes = diff(&old, &new);
         assert!(changes.len() >= 2, "two interface stanzas changed");
         assert_eq!(change_types(&changes), vec![ChangeType::Interface]);
     }
@@ -228,8 +238,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "across dialects")]
     fn cross_dialect_diff_panics() {
-        let a = parsed(&base(Dialect::BlockKeyword));
-        let b = parsed(&base(Dialect::BraceHierarchy));
-        diff_configs(&a, &b);
+        diff(&base(Dialect::BlockKeyword), &base(Dialect::BraceHierarchy));
     }
 }

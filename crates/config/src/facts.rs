@@ -100,7 +100,7 @@ impl ConfigFacts {
 }
 
 /// Extract facts from a parsed configuration.
-pub fn extract_facts(cfg: &ParsedConfig) -> ConfigFacts {
+pub fn extract_facts(cfg: &ParsedConfig<'_>) -> ConfigFacts {
     match cfg.dialect {
         Dialect::BlockKeyword => extract_block(cfg),
         Dialect::BraceHierarchy => extract_brace(cfg),
@@ -116,11 +116,11 @@ fn description_peer(line: &str) -> Option<DeviceId> {
     host[dev_pos + 3..].parse().ok().map(DeviceId)
 }
 
-fn extract_block(cfg: &ParsedConfig) -> ConfigFacts {
+fn extract_block(cfg: &ParsedConfig<'_>) -> ConfigFacts {
     let mut f = ConfigFacts::default();
 
-    let vlan_ids: BTreeSet<&str> = cfg.of_kind("vlan").map(|s| s.name.as_str()).collect();
-    let acl_names: BTreeSet<&str> = cfg.of_kind("ip access-list").map(|s| s.name.as_str()).collect();
+    let vlan_ids: BTreeSet<&str> = cfg.of_kind("vlan").map(|s| s.name.as_ref()).collect();
+    let acl_names: BTreeSet<&str> = cfg.of_kind("ip access-list").map(|s| s.name.as_ref()).collect();
 
     f.vlan_ids = vlan_ids.iter().filter_map(|n| n.parse().ok()).collect();
     f.vlan_count = vlan_ids.len();
@@ -196,12 +196,12 @@ fn extract_block(cfg: &ParsedConfig) -> ConfigFacts {
     f
 }
 
-fn extract_brace(cfg: &ParsedConfig) -> ConfigFacts {
+fn extract_brace(cfg: &ParsedConfig<'_>) -> ConfigFacts {
     let mut f = ConfigFacts::default();
 
-    let iface_names: BTreeSet<&str> = cfg.of_kind("interfaces").map(|s| s.name.as_str()).collect();
+    let iface_names: BTreeSet<&str> = cfg.of_kind("interfaces").map(|s| s.name.as_ref()).collect();
     let filter_names: BTreeSet<&str> =
-        cfg.of_kind("firewall filter").map(|s| s.name.as_str()).collect();
+        cfg.of_kind("firewall filter").map(|s| s.name.as_ref()).collect();
 
     f.iface_count = iface_names.len();
     f.vlan_count = cfg.count_kind("vlans");
@@ -409,8 +409,7 @@ mod tests {
     fn dangling_references_are_not_counted() {
         // An interface referencing a non-existent VLAN should not count.
         let text = "hostname h\n!\ninterface Eth0/1\n switchport access vlan 99\n!\n";
-        let parsed = parse_config(text, Dialect::BlockKeyword).unwrap();
-        let f = extract_facts(&parsed);
+        let f = extract_facts(&parse_config(text, Dialect::BlockKeyword).unwrap());
         assert_eq!(f.intra_refs, 0);
         assert_eq!(f.vlan_count, 0);
     }
@@ -418,8 +417,8 @@ mod tests {
     #[test]
     fn empty_config_yields_zero_facts() {
         let c = DeviceConfig::new("h", Dialect::BlockKeyword);
-        let parsed = parse_config(&render_config(&c), Dialect::BlockKeyword).unwrap();
-        let f = extract_facts(&parsed);
+        let text = render_config(&c);
+        let f = extract_facts(&parse_config(&text, Dialect::BlockKeyword).unwrap());
         assert_eq!(f.protocol_count(), 0);
         assert_eq!(f.intra_refs, 0);
         assert_eq!(f.inter_refs(), 0);

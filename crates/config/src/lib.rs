@@ -28,8 +28,11 @@
 //!   the other).
 //! * [`diff`] — stanza-level diff between two parsed configs ("if at least
 //!   one stanza differs, we count this as a configuration change").
-//! * [`snapshot`] — the snapshot archive with login metadata and the user
+//! * [`snapshot`] — snapshot value types with login metadata and the user
 //!   directory that classifies logins as automation accounts.
+//! * [`archive`] — the delta-encoded snapshot store: per-archive line
+//!   interning, base-plus-deltas histories, exact bit-for-bit
+//!   reconstruction.
 //! * [`facts`] — extraction of design-practice facts (VLAN counts, protocol
 //!   sets, routing processes, intra-/inter-device references) from parsed
 //!   configs.
@@ -37,6 +40,7 @@
 //!   references (BGP neighbor IPs) be resolved back to devices.
 
 pub mod addr;
+pub mod archive;
 pub mod diff;
 pub mod error;
 pub mod facts;
@@ -46,11 +50,14 @@ pub mod semantic;
 pub mod snapshot;
 pub mod typemap;
 
+pub use archive::{ArchiveBuilder, LineDelta, LineId, SnapshotArchive};
+/// Compatibility alias: the archive is the delta-encoded store.
+pub use archive::SnapshotArchive as Archive;
 pub use diff::{diff_configs, ChangeAction, StanzaChange};
 pub use error::ConfigError;
 pub use facts::ConfigFacts;
 pub use parse::{parse_config, ParsedConfig, ParsedStanza};
-pub use render::render_config;
+pub use render::{render_config, render_config_into};
 pub use semantic::DeviceConfig;
-pub use snapshot::{Archive, Login, Snapshot, SnapshotMeta, UserDirectory};
+pub use snapshot::{Login, Snapshot, SnapshotMeta, UserDirectory};
 pub use typemap::ChangeType;

@@ -25,9 +25,19 @@ use mpa_model::device::Dialect;
 
 /// Render a device config to text in its own dialect.
 pub fn render_config(cfg: &DeviceConfig) -> String {
+    let mut out = String::with_capacity(1024);
+    render_config_into(cfg, &mut out);
+    out
+}
+
+/// Render into a caller-owned buffer (cleared first). The simulator renders
+/// one snapshot per device change; reusing one buffer keeps that hot loop
+/// allocation-free.
+pub fn render_config_into(cfg: &DeviceConfig, out: &mut String) {
+    out.clear();
     match cfg.dialect {
-        Dialect::BlockKeyword => block_keyword::render(cfg),
-        Dialect::BraceHierarchy => brace_hierarchy::render(cfg),
+        Dialect::BlockKeyword => block_keyword::render(cfg, out),
+        Dialect::BraceHierarchy => brace_hierarchy::render(cfg, out),
     }
 }
 
@@ -49,8 +59,7 @@ pub fn parse_interface_name(name: &str) -> Option<u16> {
 mod block_keyword {
     use super::*;
 
-    pub fn render(cfg: &DeviceConfig) -> String {
-        let mut out = String::with_capacity(1024);
+    pub fn render(cfg: &DeviceConfig, out: &mut String) {
         let mut sect = |s: &str| {
             out.push_str(s);
             if !s.ends_with('\n') {
@@ -143,8 +152,6 @@ mod block_keyword {
             }
             sect(&s);
         }
-
-        out
     }
 }
 
@@ -152,8 +159,8 @@ mod brace_hierarchy {
     use super::*;
     use std::fmt::Write as _;
 
-    pub fn render(cfg: &DeviceConfig) -> String {
-        let mut w = Writer::default();
+    pub fn render(cfg: &DeviceConfig, out: &mut String) {
+        let mut w = Writer { out, depth: 0 };
 
         w.open("system");
         w.leaf(&format!("host-name {}", cfg.hostname));
@@ -309,17 +316,17 @@ mod brace_hierarchy {
             w.close();
         }
 
-        w.finish()
+        w.finish();
     }
 
-    /// Indentation-tracking writer for brace blocks.
-    #[derive(Default)]
-    struct Writer {
-        out: String,
+    /// Indentation-tracking writer for brace blocks, appending to a
+    /// caller-owned buffer.
+    struct Writer<'a> {
+        out: &'a mut String,
         depth: usize,
     }
 
-    impl Writer {
+    impl Writer<'_> {
         fn open(&mut self, header: &str) {
             let _ = writeln!(self.out, "{}{} {{", "    ".repeat(self.depth), header);
             self.depth += 1;
@@ -334,9 +341,8 @@ mod brace_hierarchy {
             let _ = writeln!(self.out, "{}}}", "    ".repeat(self.depth));
         }
 
-        fn finish(self) -> String {
+        fn finish(self) {
             assert_eq!(self.depth, 0, "unbalanced braces in renderer");
-            self.out
         }
     }
 }

@@ -7,17 +7,17 @@
 //! change, e.g., when it occurred and the login information of the entity
 //! (i.e., user or script) that made the change."
 //!
-//! [`Archive`] is that store. [`UserDirectory`] is the organization's user
-//! management system: logins it classifies as *special accounts* mark a
-//! change as automated (§2.2, line O2). The classification is deliberately
-//! conservative — scripts run under a regular user account are
-//! misclassified as manual, under-estimating automation, exactly as the
-//! paper acknowledges.
+//! [`crate::archive::SnapshotArchive`] is that store (delta-encoded; this
+//! module holds the snapshot value types it stores). [`UserDirectory`] is
+//! the organization's user management system: logins it classifies as
+//! *special accounts* mark a change as automated (§2.2, line O2). The
+//! classification is deliberately conservative — scripts run under a
+//! regular user account are misclassified as manual, under-estimating
+//! automation, exactly as the paper acknowledges.
 
-use crate::error::ConfigError;
 use mpa_model::{DeviceId, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The login recorded with a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -80,144 +80,9 @@ impl UserDirectory {
     }
 }
 
-/// Per-device, chronologically ordered snapshot store.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Archive {
-    by_device: BTreeMap<DeviceId, Vec<Snapshot>>,
-}
-
-impl Archive {
-    /// Empty archive.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Append a snapshot. Snapshots must arrive in non-decreasing time order
-    /// per device (the NMS receives syslog events in order).
-    pub fn push(&mut self, snapshot: Snapshot) -> Result<(), ConfigError> {
-        let dev = snapshot.meta.device;
-        let list = self.by_device.entry(dev).or_default();
-        if let Some(last) = list.last() {
-            if snapshot.meta.time < last.meta.time {
-                return Err(ConfigError::OutOfOrderSnapshot { device: dev.to_string() });
-            }
-        }
-        list.push(snapshot);
-        Ok(())
-    }
-
-    /// All snapshots of a device, oldest first.
-    pub fn device_history(&self, dev: DeviceId) -> &[Snapshot] {
-        self.by_device.get(&dev).map(Vec::as_slice).unwrap_or(&[])
-    }
-
-    /// Devices with at least one snapshot, ascending.
-    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
-        self.by_device.keys().copied()
-    }
-
-    /// Total number of snapshots across all devices.
-    pub fn n_snapshots(&self) -> usize {
-        self.by_device.values().map(Vec::len).sum()
-    }
-
-    /// Total bytes of archived configuration text.
-    pub fn total_bytes(&self) -> usize {
-        self.by_device.values().flatten().map(|s| s.text.len()).sum()
-    }
-
-    /// The newest snapshot at or before `t`, if any.
-    pub fn latest_at(&self, dev: DeviceId, t: Timestamp) -> Option<&Snapshot> {
-        let hist = self.device_history(dev);
-        let ix = hist.partition_point(|s| s.meta.time <= t);
-        ix.checked_sub(1).map(|i| &hist[i])
-    }
-
-    /// Successive snapshot pairs `(older, newer)` of a device whose *newer*
-    /// member falls in `[from, to)` — the unit the stanza diff runs over.
-    /// The pair straddling `from` is included (its newer snapshot is inside
-    /// the window), so a window never misses the change that produced its
-    /// first snapshot.
-    pub fn pairs_in_window(
-        &self,
-        dev: DeviceId,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Vec<(&Snapshot, &Snapshot)> {
-        let hist = self.device_history(dev);
-        hist.windows(2)
-            .filter(|w| w[1].meta.time >= from && w[1].meta.time < to)
-            .map(|w| (&w[0], &w[1]))
-            .collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn snap(dev: u32, t: u64, login: &str, text: &str) -> Snapshot {
-        Snapshot {
-            meta: SnapshotMeta {
-                device: DeviceId(dev),
-                time: Timestamp(t),
-                login: Login::new(login),
-            },
-            text: text.to_string(),
-        }
-    }
-
-    #[test]
-    fn push_and_query_history() {
-        let mut a = Archive::new();
-        a.push(snap(1, 10, "alice", "v1")).unwrap();
-        a.push(snap(1, 20, "bob", "v2")).unwrap();
-        a.push(snap(2, 15, "svc-auto", "w1")).unwrap();
-        assert_eq!(a.n_snapshots(), 3);
-        assert_eq!(a.device_history(DeviceId(1)).len(), 2);
-        assert_eq!(a.devices().collect::<Vec<_>>(), vec![DeviceId(1), DeviceId(2)]);
-        assert_eq!(a.total_bytes(), 6);
-    }
-
-    #[test]
-    fn rejects_out_of_order() {
-        let mut a = Archive::new();
-        a.push(snap(1, 20, "alice", "v1")).unwrap();
-        let err = a.push(snap(1, 10, "alice", "v0")).unwrap_err();
-        assert!(matches!(err, ConfigError::OutOfOrderSnapshot { .. }));
-        // Equal timestamps are allowed (two changes in the same minute).
-        a.push(snap(1, 20, "alice", "v2")).unwrap();
-    }
-
-    #[test]
-    fn latest_at_boundaries() {
-        let mut a = Archive::new();
-        a.push(snap(1, 10, "x", "v1")).unwrap();
-        a.push(snap(1, 20, "x", "v2")).unwrap();
-        assert!(a.latest_at(DeviceId(1), Timestamp(5)).is_none());
-        assert_eq!(a.latest_at(DeviceId(1), Timestamp(10)).unwrap().text, "v1");
-        assert_eq!(a.latest_at(DeviceId(1), Timestamp(15)).unwrap().text, "v1");
-        assert_eq!(a.latest_at(DeviceId(1), Timestamp(99)).unwrap().text, "v2");
-        assert!(a.latest_at(DeviceId(9), Timestamp(99)).is_none());
-    }
-
-    #[test]
-    fn pairs_in_window_straddles_start() {
-        let mut a = Archive::new();
-        for (t, v) in [(10, "v1"), (20, "v2"), (30, "v3"), (40, "v4")] {
-            a.push(snap(1, t, "x", v)).unwrap();
-        }
-        // Window [20, 40): pairs whose newer snapshot is v2 (t=20) and v3 (t=30).
-        let pairs = a.pairs_in_window(DeviceId(1), Timestamp(20), Timestamp(40));
-        assert_eq!(pairs.len(), 2);
-        assert_eq!(pairs[0].0.text, "v1");
-        assert_eq!(pairs[0].1.text, "v2");
-        assert_eq!(pairs[1].1.text, "v3");
-        // Empty window.
-        assert!(a.pairs_in_window(DeviceId(1), Timestamp(100), Timestamp(200)).is_empty());
-        // Unknown device.
-        assert!(a.pairs_in_window(DeviceId(9), Timestamp(0), Timestamp(100)).is_empty());
-    }
 
     #[test]
     fn user_directory_classification() {

@@ -67,7 +67,8 @@ proptest! {
 
     #[test]
     fn self_diff_is_empty(cfg in arb_config()) {
-        let parsed = parse_config(&render_config(&cfg), cfg.dialect).unwrap();
+        let text = render_config(&cfg);
+        let parsed = parse_config(&text, cfg.dialect).unwrap();
         prop_assert!(diff_configs(&parsed, &parsed).is_empty());
     }
 
@@ -85,8 +86,8 @@ proptest! {
 
     #[test]
     fn facts_agree_with_semantic_state(cfg in arb_config()) {
-        let parsed = parse_config(&render_config(&cfg), cfg.dialect).unwrap();
-        let facts = extract_facts(&parsed);
+        let text = render_config(&cfg);
+        let facts = extract_facts(&parse_config(&text, cfg.dialect).unwrap());
 
         let expected_vlans: std::collections::BTreeSet<u16> =
             cfg.vlans.keys().copied().collect();
@@ -109,12 +110,15 @@ proptest! {
 
     #[test]
     fn single_semantic_edit_produces_a_diff(cfg in arb_config(), vlan in 1u16..300) {
-        let before = parse_config(&render_config(&cfg), cfg.dialect).unwrap();
+        let before_text = render_config(&cfg);
         let mut edited = cfg.clone();
         // Pick a guaranteed-new vlan id (above the strategy's range).
         edited.add_vlan(1000 + vlan);
-        let after = parse_config(&render_config(&edited), edited.dialect).unwrap();
-        let changes = diff_configs(&before, &after);
+        let after_text = render_config(&edited);
+        let changes = diff_configs(
+            &parse_config(&before_text, cfg.dialect).unwrap(),
+            &parse_config(&after_text, edited.dialect).unwrap(),
+        );
         prop_assert!(!changes.is_empty());
         prop_assert!(changes
             .iter()

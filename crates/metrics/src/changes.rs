@@ -6,9 +6,9 @@
 //! by the vendor-agnostic stanza types it touched and classified as
 //! automated or manual from its login metadata.
 
-use mpa_config::snapshot::{Archive, Login, UserDirectory};
+use mpa_config::snapshot::{Login, UserDirectory};
 use mpa_config::typemap::ChangeType;
-use mpa_config::{diff_configs, parse_config, ParsedConfig};
+use mpa_config::{diff_configs, parse_config, Archive, ParsedConfig};
 use mpa_model::device::Dialect;
 use mpa_model::{DeviceId, Timestamp};
 use serde::{Deserialize, Serialize};
@@ -51,11 +51,14 @@ pub fn replay_device_changes(
     dialect: Dialect,
     directory: &UserDirectory,
 ) -> Vec<DeviceChange> {
-    let history = archive.device_history(device);
+    // Materialize the device's texts once (one forward delta replay); the
+    // zero-copy parses borrow from this buffer for the whole walk.
+    let texts = archive.device_texts(device);
+    let metas = archive.device_metas(device);
     let mut out = Vec::new();
-    let mut prev: Option<ParsedConfig> = None;
-    for snap in history {
-        let Ok(parsed) = parse_config(&snap.text, dialect) else {
+    let mut prev: Option<ParsedConfig<'_>> = None;
+    for (text, meta) in texts.iter().zip(metas) {
+        let Ok(parsed) = parse_config(text, dialect) else {
             continue;
         };
         if let Some(prev_cfg) = &prev {
@@ -67,9 +70,9 @@ pub fn replay_device_changes(
                 types.dedup();
                 out.push(DeviceChange {
                     device,
-                    time: snap.meta.time,
-                    login: snap.meta.login.clone(),
-                    automated: directory.is_automated(&snap.meta.login),
+                    time: meta.time,
+                    login: meta.login.clone(),
+                    automated: directory.is_automated(&meta.login),
                     types,
                     n_stanzas: stanza_changes.len(),
                 });

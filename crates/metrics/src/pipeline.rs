@@ -23,7 +23,7 @@ use mpa_config::typemap::ChangeType;
 use mpa_config::{diff_configs, parse_config, ParsedConfig};
 use mpa_model::{DeviceId, NetworkId, Role};
 use mpa_synth::Dataset;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Everything inference produces. The case table drives the analytics; the
 /// per-network change records additionally back the δ-sensitivity and
@@ -94,31 +94,48 @@ fn infer_network(
         vec![BTreeMap::new(); n_months];
 
     for device in &network.devices {
-        let history = dataset.archive.device_history(device.id);
-        if history.is_empty() {
+        let metas = dataset.archive.device_metas(device.id);
+        if metas.is_empty() {
             continue;
         }
-        let parsed: Vec<Option<ParsedConfig>> = history
+        // Materialize the device's texts once (one forward delta replay);
+        // the zero-copy parses below borrow from this buffer.
+        let texts = dataset.archive.device_texts(device.id);
+
+        // Parse cache: `canon[ix]` is the first snapshot index carrying the
+        // same text, so each *distinct* config of the device is parsed (and
+        // fact-extracted) exactly once. Adjacent duplicates never reach the
+        // archive, but reverts to an earlier state do. The map is
+        // lookup-only, so determinism is unaffected.
+        let mut canon: Vec<usize> = Vec::with_capacity(texts.len());
+        let mut first_seen: HashMap<&str, usize> = HashMap::new();
+        for (ix, t) in texts.iter().enumerate() {
+            canon.push(*first_seen.entry(t.as_str()).or_insert(ix));
+        }
+        let parsed: Vec<Option<ParsedConfig<'_>>> = texts
             .iter()
-            .map(|s| parse_config(&s.text, device.dialect()).ok())
+            .enumerate()
+            .map(|(ix, t)| {
+                (canon[ix] == ix).then(|| parse_config(t, device.dialect()).ok()).flatten()
+            })
             .collect();
+        let parsed_at = |ix: usize| parsed[canon[ix]].as_ref();
 
         // Change records from successive parseable snapshots.
         let mut prev_ix: Option<usize> = None;
-        for (ix, p) in parsed.iter().enumerate() {
-            if p.is_none() {
+        for (ix, meta) in metas.iter().enumerate() {
+            if parsed_at(ix).is_none() {
                 continue;
             }
             if let Some(pi) = prev_ix {
-                let old = parsed[pi].as_ref().expect("tracked as parseable");
-                let new = p.as_ref().expect("checked");
+                let old = parsed_at(pi).expect("tracked as parseable");
+                let new = parsed_at(ix).expect("checked");
                 let stanza_changes = diff_configs(old, new);
                 if !stanza_changes.is_empty() {
                     let mut types: Vec<ChangeType> =
                         stanza_changes.iter().map(|c| c.change_type).collect();
                     types.sort_unstable();
                     types.dedup();
-                    let meta = &history[ix].meta;
                     net_changes.push(DeviceChange {
                         device: device.id,
                         time: meta.time,
@@ -133,19 +150,19 @@ fn infer_network(
         }
 
         // Month-end facts: the latest parseable snapshot at or before
-        // each month boundary. Facts are memoized per snapshot index so
-        // a quiet device is only analyzed once.
+        // each month boundary. Facts are memoized per *distinct* config
+        // (canonical index) so a quiet device is only analyzed once.
         let mut facts_cache: BTreeMap<usize, ConfigFacts> = BTreeMap::new();
         for (month, month_facts) in facts_by_month.iter_mut().enumerate() {
             let end = dataset.period.month_end(month);
-            // partition_point over history times (sorted per archive).
-            let upto = history.partition_point(|s| s.meta.time < end);
-            let Some(ix) = (0..upto).rev().find(|&i| parsed[i].is_some()) else {
+            // partition_point over snapshot times (sorted per archive).
+            let upto = metas.partition_point(|m| m.time < end);
+            let Some(ix) = (0..upto).rev().find(|&i| parsed_at(i).is_some()) else {
                 continue;
             };
             let facts = facts_cache
-                .entry(ix)
-                .or_insert_with(|| extract_facts(parsed[ix].as_ref().expect("parseable")));
+                .entry(canon[ix])
+                .or_insert_with(|| extract_facts(parsed_at(ix).expect("parseable")));
             month_facts.insert(device.id, facts.clone());
         }
     }

@@ -17,9 +17,9 @@ use crate::health::{HealthModel, TrueMonthly, TrueStatics};
 use crate::netgen::GeneratedNetwork;
 use crate::profile::{NetworkProfile, OpKind};
 use mpa_config::semantic::AclRule;
-use mpa_config::snapshot::{Archive, Login, Snapshot, SnapshotMeta};
+use mpa_config::snapshot::Login;
 use mpa_config::typemap::ChangeType;
-use mpa_config::render_config;
+use mpa_config::{render_config_into, ArchiveBuilder, SnapshotArchive};
 use mpa_model::device::Dialect;
 use mpa_model::{
     DeviceId, Role, StudyPeriod, Ticket, TicketId, TicketKind, TicketSeverity, Timestamp,
@@ -68,8 +68,8 @@ pub struct MonthTruth {
 /// Output of simulating one network across the study period.
 #[derive(Debug, Default)]
 pub struct NetworkSimOutput {
-    /// Archived snapshots (only for logged months).
-    pub snapshots: Vec<Snapshot>,
+    /// Delta-encoded snapshot archive (only logged months contribute).
+    pub archive: SnapshotArchive,
     /// All tickets (incident + maintenance).
     pub tickets: Vec<Ticket>,
     /// Per-month ground truth.
@@ -96,6 +96,7 @@ pub fn simulate_network<R: Rng>(
     rng: &mut R,
 ) -> NetworkSimOutput {
     let mut out = NetworkSimOutput::default();
+    let mut builder = ArchiveBuilder::new();
     let mut rev: u64 = 0; // monotonically increasing edit revision
 
     let statics = TrueStatics {
@@ -122,15 +123,9 @@ pub fn simulate_network<R: Rng>(
     {
         let mut s = Sampler::new(rng);
         for d in &gen.network.devices {
-            let text = render_config(&gen.configs[&d.id]);
-            out.snapshots.push(Snapshot {
-                meta: SnapshotMeta {
-                    device: d.id,
-                    time: Timestamp(0),
-                    login: Login::new(format!("op{}", s.uniform_range(0, 3))),
-                },
-                text,
-            });
+            let login = Login::new(format!("op{}", s.uniform_range(0, 3)));
+            let cfg = &gen.configs[&d.id];
+            builder.record_with(d.id, Timestamp(0), login, |buf| render_config_into(cfg, buf));
         }
     }
 
@@ -187,10 +182,9 @@ pub fn simulate_network<R: Rng>(
                 let role = gen.network.device(dev).expect("member").role;
                 touched_mbox |= role.is_middlebox();
                 if logged {
-                    let text = render_config(&gen.configs[&dev]);
-                    out.snapshots.push(Snapshot {
-                        meta: SnapshotMeta { device: dev, time: Timestamp(t), login: login.clone() },
-                        text,
+                    let cfg = &gen.configs[&dev];
+                    builder.record_with(dev, Timestamp(t), login.clone(), |buf| {
+                        render_config_into(cfg, buf);
                     });
                 }
             }
@@ -273,22 +267,12 @@ pub fn simulate_network<R: Rng>(
         });
     }
 
-    // Snapshots must enter the archive in time order per device; the event
-    // loop emits them in event order, so sort before returning. Then drop
-    // time-adjacent duplicates: events are applied in generation order but
-    // timestamped randomly within the month, so an edit can exactly revert
-    // the state seen at an earlier timestamp — and an NMS like RANCID only
-    // commits a snapshot when the text actually changed.
-    out.snapshots.sort_by_key(|s| (s.meta.device, s.meta.time));
-    out.snapshots.dedup_by(|b, a| a.meta.device == b.meta.device && a.text == b.text);
+    // The event loop records snapshots in event order; `finish` sorts each
+    // device's history into time order, drops time-adjacent duplicates (an
+    // edit can exactly revert earlier state, and an NMS like RANCID only
+    // commits when the text actually changed) and delta-encodes.
+    out.archive = builder.finish();
     out
-}
-
-/// Append a network's snapshots to the archive.
-pub fn archive_snapshots(archive: &mut Archive, snapshots: Vec<Snapshot>) {
-    for snap in snapshots {
-        archive.push(snap).expect("snapshots pre-sorted per device");
-    }
 }
 
 /// Choose an event's operation kind and target devices.
@@ -603,31 +587,31 @@ mod tests {
     #[test]
     fn snapshots_are_ordered_and_parseable() {
         let (gen, out) = run_one();
-        let mut archive = Archive::new();
-        archive_snapshots(&mut archive, out.snapshots.clone());
-        assert!(archive.n_snapshots() >= gen.network.devices.len());
-        for snap in &out.snapshots {
-            let dialect = gen.network.device(snap.meta.device).unwrap().dialect();
-            parse_config(&snap.text, dialect).expect("snapshot parses");
+        assert!(out.archive.n_snapshots() >= gen.network.devices.len());
+        for d in &gen.network.devices {
+            let metas = out.archive.device_metas(d.id);
+            assert!(metas.windows(2).all(|w| w[0].time <= w[1].time), "{}", d.hostname());
+            for text in out.archive.device_texts(d.id) {
+                parse_config(&text, d.dialect()).expect("snapshot parses");
+            }
         }
     }
 
     #[test]
     fn successive_snapshots_actually_differ() {
         let (gen, out) = run_one();
-        let mut archive = Archive::new();
-        archive_snapshots(&mut archive, out.snapshots.clone());
         let mut checked = 0;
         for d in &gen.network.devices {
-            let hist = archive.device_history(d.id);
-            for w in hist.windows(2) {
-                let old = parse_config(&w[0].text, d.dialect()).unwrap();
-                let new = parse_config(&w[1].text, d.dialect()).unwrap();
+            let texts = out.archive.device_texts(d.id);
+            let metas = out.archive.device_metas(d.id);
+            for i in 1..texts.len() {
+                let old = parse_config(&texts[i - 1], d.dialect()).unwrap();
+                let new = parse_config(&texts[i], d.dialect()).unwrap();
                 assert!(
                     !diff_configs(&old, &new).is_empty(),
                     "no-op snapshot on {} at {}",
                     d.hostname(),
-                    w[1].meta.time
+                    metas[i].time
                 );
                 checked += 1;
             }
@@ -697,8 +681,11 @@ mod tests {
         // never exceed 3 minutes within a burst... simplest proxy: there is
         // at least one pair of snapshots on *different* devices within 3
         // minutes (i.e., multi-device events exist at all).
-        let mut times: Vec<(u64, DeviceId)> =
-            out.snapshots.iter().map(|s| (s.meta.time.0, s.meta.device)).collect();
+        let mut times: Vec<(u64, DeviceId)> = out
+            .archive
+            .devices()
+            .flat_map(|d| out.archive.device_metas(d).iter().map(|m| (m.time.0, m.device)))
+            .collect();
         times.sort_unstable();
         let close_cross_device = times
             .windows(2)
@@ -723,7 +710,7 @@ mod tests {
     fn simulation_is_deterministic() {
         let run = || {
             let (_, out) = run_one();
-            (out.snapshots.len(), out.tickets.len(), format!("{:?}", out.truth))
+            (out.archive.n_snapshots(), out.tickets.len(), format!("{:?}", out.truth))
         };
         assert_eq!(run(), run());
     }

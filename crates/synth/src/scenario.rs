@@ -7,7 +7,7 @@
 use crate::dataset::Dataset;
 use crate::health::HealthModel;
 use crate::netgen::generate_network;
-use crate::ops::{archive_snapshots, simulate_network, SimConfig};
+use crate::ops::{simulate_network, SimConfig};
 use crate::profile::{sample_profiles, OrgConfig};
 use mpa_config::{Archive, UserDirectory};
 use mpa_model::{Inventory, InventoryRecord, Month, StudyPeriod, TicketId};
@@ -159,7 +159,7 @@ impl Scenario {
                 let site = format!("dc{}/r{}", d.network.0 % 8, d.id.0 % 40);
                 inventory_records.push(InventoryRecord::from_device(d, site));
             }
-            archive_snapshots(&mut archive, out.snapshots);
+            archive.merge(out.archive);
             // Re-key the per-network ticket sequences into one dense
             // org-wide sequence (ids are referenced nowhere else).
             tickets.extend(out.tickets.into_iter().map(|mut t| {

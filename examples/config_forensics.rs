@@ -11,8 +11,8 @@
 //! an `interface` change on one vendor and a `vlan` change on another.
 
 use mpa::config::semantic::{AclRule, DeviceConfig};
-use mpa::config::snapshot::{Archive, Login, Snapshot, SnapshotMeta, UserDirectory};
-use mpa::config::{parse_config, render_config};
+use mpa::config::snapshot::{Login, Snapshot, SnapshotMeta, UserDirectory};
+use mpa::config::{parse_config, render_config, Archive};
 use mpa::metrics::{group_events, replay_device_changes};
 use mpa::model::device::Dialect;
 use mpa::model::{DeviceId, Timestamp};
@@ -95,7 +95,8 @@ fn main() {
     }
 
     // And the structural facts the design metrics are built from.
-    let parsed = parse_config(&render_config(&cisco_like), Dialect::BlockKeyword).unwrap();
+    let text = render_config(&cisco_like);
+    let parsed = parse_config(&text, Dialect::BlockKeyword).unwrap();
     let facts = mpa::config::facts::extract_facts(&parsed);
     println!(
         "\n--- extracted facts (block-keyword device) ---\n\
