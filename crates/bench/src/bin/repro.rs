@@ -12,7 +12,11 @@
 //!
 //! `--bench-out FILE` times the generate → infer → MI pipeline at 1 thread
 //! and at the full worker count, cross-checks that both produced identical
-//! results, and writes the JSON artifact (`BENCH_pipeline.json`).
+//! results, and writes the JSON artifact (`BENCH_pipeline.json`); each run
+//! also records its observability counter deltas (see `mpa_obs`).
+//!
+//! `--obs-out FILE` writes an [`mpa_obs::RunReport`] (span tree, counters,
+//! scheduling stats, peak RSS) when the process finishes.
 
 use mpa_bench::experiments;
 use mpa_bench::fixtures::{by_scale, FixtureScale};
@@ -22,6 +26,7 @@ fn main() {
     let mut scale = FixtureScale::Medium;
     let mut out_dir: Option<String> = None;
     let mut bench_out: Option<String> = None;
+    let mut obs_out: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -41,6 +46,7 @@ fn main() {
             }
             "--out" => out_dir = it.next().cloned(),
             "--bench-out" => bench_out = it.next().cloned(),
+            "--obs-out" => obs_out = it.next().cloned(),
             "--threads" => {
                 let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--threads needs a number");
@@ -52,6 +58,9 @@ fn main() {
         }
     }
     mpa_exec::set_phase_timing(true);
+    if obs_out.is_some() {
+        mpa_obs::install_collector();
+    }
 
     if let Some(path) = &bench_out {
         let threads = mpa_exec::threads();
@@ -85,13 +94,14 @@ fn main() {
             bench.speedup, bench.deterministic
         );
         if targets.is_empty() {
+            write_obs_report(obs_out.as_deref());
             return;
         }
     }
     if targets.is_empty() {
         eprintln!(
             "usage: repro [--scale tiny|small|medium|paper] [--threads N] [--out DIR] \
-             [--bench-out FILE] <experiment>...|all|calibrate"
+             [--bench-out FILE] [--obs-out FILE] <experiment>...|all|calibrate"
         );
         eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
@@ -121,4 +131,17 @@ fn main() {
             std::fs::write(format!("{dir}/{id}.txt"), &output).expect("write experiment output");
         }
     }
+    write_obs_report(obs_out.as_deref());
+}
+
+/// Write the run report if `--obs-out` was given. Called on every normal
+/// exit path so a bench-only invocation still produces its report.
+fn write_obs_report(path: Option<&str>) {
+    let Some(path) = path else { return };
+    let report = mpa_obs::RunReport::gather();
+    report.write(path).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("[mpa] wrote run report {path}");
 }

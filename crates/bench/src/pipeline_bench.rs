@@ -10,6 +10,7 @@ use mpa_metrics::pipeline::infer;
 use mpa_metrics::DELTA_DEFAULT_MINUTES;
 use mpa_synth::Scenario;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// One timed run of the pipeline at a fixed thread count.
@@ -29,6 +30,11 @@ pub struct PipelineRun {
     /// high-water mark is monotone across a process's life, so the first
     /// run's figure is the meaningful per-configuration peak.
     pub peak_rss_mib: f64,
+    /// Observability counter deltas attributed to this run (work counted
+    /// between the run's start and end; see `mpa_obs::counters`). Counters
+    /// are thread-invariant, so these figures should match across the runs
+    /// of one bench — a cheap cross-check on top of the output fingerprint.
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// The full benchmark artifact (`BENCH_pipeline.json`).
@@ -85,18 +91,29 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
 
     for &threads in thread_counts {
         mpa_exec::set_threads(threads);
+        let counters_before = mpa_obs::counters::snapshot();
 
-        let t0 = Instant::now();
-        let dataset = scenario.generate();
-        let generate_s = t0.elapsed().as_secs_f64();
+        // Each phase is also wrapped in an obs span (free when no collector
+        // is installed) so a `repro --bench-out ... --obs-out ...` run
+        // reports its span tree alongside the timings below.
+        let run_label = format!("bench_{threads}_threads");
+        let (dataset, inference, mi, generate_s, infer_s, mi_ranking_s) =
+            mpa_obs::span(&run_label, || {
+                let t0 = Instant::now();
+                let dataset = mpa_obs::span("generate", || scenario.generate());
+                let generate_s = t0.elapsed().as_secs_f64();
 
-        let t1 = Instant::now();
-        let inference = infer(&dataset, DELTA_DEFAULT_MINUTES);
-        let infer_s = t1.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let inference =
+                    mpa_obs::span("infer", || infer(&dataset, DELTA_DEFAULT_MINUTES));
+                let infer_s = t1.elapsed().as_secs_f64();
 
-        let t2 = Instant::now();
-        let mi = mpa_core::mi_ranking(&inference.table, 20);
-        let mi_ranking_s = t2.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                let mi =
+                    mpa_obs::span("mi_ranking", || mpa_core::mi_ranking(&inference.table, 20));
+                let mi_ranking_s = t2.elapsed().as_secs_f64();
+                (dataset, inference, mi, generate_s, infer_s, mi_ranking_s)
+            });
 
         // Fingerprint the outputs; any divergence across thread counts is
         // a determinism bug, which the artifact should loudly record.
@@ -112,6 +129,12 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
         archive_total_bytes = dataset.archive.total_bytes();
         archive_text_bytes = dataset.archive.text_bytes();
 
+        let counters_after = mpa_obs::counters::snapshot();
+        let counters = mpa_obs::counters::snapshot_diff(&counters_before, &counters_after)
+            .into_iter()
+            .map(|(name, v)| (name.to_string(), v))
+            .collect();
+
         runs.push(PipelineRun {
             threads,
             generate_s,
@@ -119,6 +142,7 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
             mi_ranking_s,
             total_s: generate_s + infer_s + mi_ranking_s,
             peak_rss_mib: peak_rss_bytes() as f64 / (1024.0 * 1024.0),
+            counters,
         });
     }
     mpa_exec::set_threads(saved);

@@ -57,8 +57,14 @@ impl LineTable {
 
     fn intern(&mut self, line: &str) -> LineId {
         if let Some(&id) = self.index.get(line) {
+            // One line + its newline that the full-text store would have
+            // duplicated. `merge` re-interns through this same path, so
+            // org-level dedup is counted too.
+            mpa_obs::counters::ARCHIVE_LINE_HITS.incr();
+            mpa_obs::counters::ARCHIVE_BYTES_SAVED.add(line.len() as u64 + 1);
             return LineId(id);
         }
+        mpa_obs::counters::ARCHIVE_LINES_INTERNED.incr();
         let id = u32::try_from(self.lines.len()).expect("line table overflow");
         self.lines.push(line.to_string());
         self.index.insert(line.to_string(), id);
@@ -640,6 +646,19 @@ mod tests {
         let mut back = back;
         back.push(snap(1, 12, "x", "hostname h\n!\n")).unwrap();
         assert_eq!(back.device_texts(DeviceId(1)).last().unwrap(), "hostname h\n!\n");
+    }
+
+    #[test]
+    fn interning_is_counted() {
+        let before = mpa_obs::counters::snapshot();
+        let mut a = SnapshotArchive::new();
+        a.push(snap(1, 0, "x", "dup\ndup\nuniq\n")).unwrap();
+        let diff = mpa_obs::counters::snapshot_diff(&before, &mpa_obs::counters::snapshot());
+        let get = |name: &str| diff.iter().find(|(n, _)| *n == name).unwrap().1;
+        // Lower bounds: other tests intern concurrently in this process.
+        assert!(get("archive_lines_interned") >= 2, "dup + uniq stored once each");
+        assert!(get("archive_line_hits") >= 1, "second dup is a hit");
+        assert!(get("archive_bytes_saved") >= 4, "len(\"dup\") + newline");
     }
 
     #[test]

@@ -33,20 +33,33 @@ fn main() {
     if let Some(n) = opts.threads {
         mpa_core::exec::set_threads(n);
     }
+    if opts.obs_out.is_some() {
+        mpa_obs::install_collector();
+    }
     mpa_core::exec::set_phase_timing(true);
     match command.as_str() {
         "generate" => generate(&opts),
         "infer" => infer(&opts),
-        "analyze" => analyze(&opts),
-        "predict" => predict(&opts),
+        "analyze" => analyze(&opts, &opts.load_table()),
+        "predict" => predict(&opts, &opts.load_table()),
         "report" => {
-            analyze(&opts);
-            predict(&opts);
+            // One load: analyze and predict share the deserialized table.
+            let table = opts.load_table();
+            analyze(&opts, &table);
+            predict(&opts, &table);
         }
         other => {
             eprintln!("unknown command {other:?}");
             usage_and_exit();
         }
+    }
+    if let Some(path) = &opts.obs_out {
+        let report = mpa_obs::RunReport::gather();
+        report.write(path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[mpa] wrote run report {path}");
     }
 }
 
@@ -59,8 +72,9 @@ fn usage_and_exit() -> ! {
            mpa-cli analyze  --table table.json [--causal-top N]\n\
            mpa-cli predict  --table table.json [--classes 2|5]\n\
            mpa-cli report   --table table.json\n\n\
-         every command also accepts --threads N (default: all cores);\n\
-         results are identical at any thread count"
+         every command also accepts --threads N (default: all cores; results\n\
+         are identical at any thread count) and --obs-out run.json (write a\n\
+         JSON run report: span tree, counters, scheduling, peak RSS)"
     );
     std::process::exit(2);
 }
@@ -78,6 +92,16 @@ struct Opts {
     causal_top: Option<usize>,
     classes: Option<u8>,
     threads: Option<usize>,
+    obs_out: Option<String>,
+}
+
+/// Parse a numeric flag value or exit 2 — an invalid `--seed abc` must
+/// never silently fall back to a default.
+fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an unsigned integer, got {raw:?}");
+        std::process::exit(2);
+    })
 }
 
 impl Opts {
@@ -93,20 +117,22 @@ impl Opts {
             };
             match flag.as_str() {
                 "--scale" => o.scale = Some(value()),
-                "--seed" => o.seed = value().parse().ok(),
+                "--seed" => o.seed = Some(parse_num("--seed", &value())),
                 "--out" => o.out = Some(value()),
                 "--dataset" => o.dataset = Some(value()),
                 "--table" => o.table = Some(value()),
-                "--delta" => o.delta = value().parse().ok(),
-                "--causal-top" => o.causal_top = value().parse().ok(),
-                "--classes" => o.classes = value().parse().ok(),
-                "--threads" => match value().parse() {
-                    Ok(n) => o.threads = Some(n),
-                    Err(_) => {
-                        eprintln!("--threads needs a number");
+                "--delta" => o.delta = Some(parse_num("--delta", &value())),
+                "--causal-top" => o.causal_top = Some(parse_num("--causal-top", &value())),
+                "--classes" => {
+                    let n: u8 = parse_num("--classes", &value());
+                    if n != 2 && n != 5 {
+                        eprintln!("--classes must be 2 or 5, got {n}");
                         std::process::exit(2);
                     }
-                },
+                    o.classes = Some(n);
+                }
+                "--threads" => o.threads = Some(parse_num("--threads", &value())),
+                "--obs-out" => o.obs_out = Some(value()),
                 other => {
                     eprintln!("unknown flag {other:?}");
                     std::process::exit(2);
@@ -189,11 +215,10 @@ fn infer(opts: &Opts) {
     eprintln!("wrote {out}");
 }
 
-fn analyze(opts: &Opts) {
-    let table = opts.load_table();
+fn analyze(opts: &Opts, table: &CaseTable) {
     println!("== dependence analysis ({} cases) ==\n", table.n_cases());
 
-    let mi = mpa_core::exec::timed_phase("mi_ranking", || mi_ranking(&table, 20));
+    let mi = mpa_core::exec::timed_phase("mi_ranking", || mi_ranking(table, 20));
     let mut t = TextTable::new(vec!["rank", "practice", "cat", "avg monthly MI"]);
     for (i, e) in mi.iter().take(10).enumerate() {
         t.row(vec![
@@ -205,7 +230,7 @@ fn analyze(opts: &Opts) {
     }
     println!("{t}");
 
-    let cmi = mpa_core::exec::timed_phase("cmi_ranking", || cmi_ranking(&table));
+    let cmi = mpa_core::exec::timed_phase("cmi_ranking", || cmi_ranking(table));
     let mut t = TextTable::new(vec!["practice pair", "", "CMI"]);
     for e in cmi.iter().take(10) {
         t.row(vec![e.a.name().to_string(), e.b.name().to_string(), format!("{:.3}", e.cmi)]);
@@ -220,7 +245,7 @@ fn analyze(opts: &Opts) {
     // ranking order.
     let top_entries: Vec<_> = mi.iter().take(top).collect();
     let analyses = mpa_core::exec::timed_phase("causal", || {
-        mpa_core::exec::par_map(&top_entries, |_, e| analyze_treatment(&table, e.metric, &cfg))
+        mpa_core::exec::par_map(&top_entries, |_, e| analyze_treatment(table, e.metric, &cfg))
     });
     for (e, analysis) in top_entries.iter().zip(&analyses) {
         if let Some(c) = analysis.low_bin_comparison() {
@@ -236,15 +261,14 @@ fn analyze(opts: &Opts) {
     println!("{t}");
 }
 
-fn predict(opts: &Opts) {
-    let table = opts.load_table();
+fn predict(opts: &Opts, table: &CaseTable) {
     let classes = match opts.classes {
         Some(5) => HealthClasses::Five,
         _ => HealthClasses::Two,
     };
     println!("== health prediction ({:?}) ==\n", classes);
 
-    let dist = class_distribution(&table, classes);
+    let dist = class_distribution(table, classes);
     let names = classes.names();
     let mut t = TextTable::new(vec!["class", "cases"]);
     for (name, count) in names.iter().zip(&dist) {
@@ -257,7 +281,7 @@ fn predict(opts: &Opts) {
         for kind in
             [ModelKind::Dt, ModelKind::DtAb, ModelKind::DtOs, ModelKind::DtAbOs, ModelKind::Majority]
         {
-            let ev = cross_validation(&table, classes, kind, 7);
+            let ev = cross_validation(table, classes, kind, 7);
             t.row(vec![kind.label().to_string(), format!("{:.3}", ev.accuracy())]);
         }
     });
@@ -270,7 +294,7 @@ fn predict(opts: &Opts) {
             if m + 1 >= months {
                 continue;
             }
-            let (acc, ev) = online_accuracy(&table, classes, ModelKind::Dt, m);
+            let (acc, ev) = online_accuracy(table, classes, ModelKind::Dt, m);
             if ev.n > 0 {
                 t.row(vec![m.to_string(), format!("{acc:.3}")]);
             }
@@ -278,7 +302,7 @@ fn predict(opts: &Opts) {
         println!("{t}");
     }
 
-    println!("decision tree (top 2 levels):\n{}", render_tree(&table, classes, ModelKind::Dt, 2));
+    println!("decision tree (top 2 levels):\n{}", render_tree(table, classes, ModelKind::Dt, 2));
 
     let _ = Metric::ALL; // keep the import tied to the public surface
 }

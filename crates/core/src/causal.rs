@@ -197,6 +197,7 @@ fn compare_bins(
     let treated_ix: Vec<usize> =
         (0..bins.len()).filter(|&i| bins[i] == b + 1).collect();
 
+    mpa_obs::counters::CAUSAL_COMPARISONS.incr();
     let mut result = ComparisonResult {
         point: (b + 1, b + 2),
         n_untreated: untreated_ix.len(),
@@ -246,19 +247,27 @@ fn compare_bins(
     };
     let (u_lo, u_hi) = range(&u_scores);
     let (t_lo, t_hi) = range(&t_scores);
+    let n_scored = u_scores.len() + t_scores.len();
     let mut u_kept: Vec<(f64, usize)> =
         u_scores.into_iter().filter(|p| p.0 >= t_lo && p.0 <= t_hi).collect();
     let t_kept: Vec<(f64, usize)> =
         t_scores.into_iter().filter(|p| p.0 >= u_lo && p.0 <= u_hi).collect();
+    mpa_obs::counters::CAUSAL_SUPPORT_DROPS
+        .add((n_scored - u_kept.len() - t_kept.len()) as u64);
     if u_kept.is_empty() || t_kept.is_empty() {
         return result;
     }
 
-    // k=1 nearest neighbour with replacement on sorted untreated scores,
-    // under a caliper of 0.2 standard deviations of the logit scores
-    // (Rosenbaum–Rubin's rule): a treated case with no sufficiently close
-    // untreated neighbour is dropped rather than force-matched — match
-    // *quality* is what the §5.2.4 balance checks then certify.
+    // k=1 nearest neighbour with replacement on sorted untreated scores.
+    // A caliper is *optional* and off by default: with
+    // `CausalConfig::default()` (`caliper_sd: None`) every treated case is
+    // matched to its nearest untreated neighbour, reproducing the paper's
+    // plain nearest-neighbour matching, and match *quality* is certified
+    // solely by the §5.2.4 balance checks. When `caliper_sd` is set (e.g.
+    // `Some(0.2)`, Rosenbaum–Rubin's classic stricter rule, measured in
+    // standard deviations of the logit propensity score), a treated case
+    // with no sufficiently close untreated neighbour is dropped rather
+    // than force-matched.
     let logit = |p: f64| {
         let p = p.clamp(1e-12, 1.0 - 1e-12);
         (p / (1.0 - p)).ln()
@@ -287,6 +296,7 @@ fn compare_bins(
             continue;
         };
         if (logit(us) - logit(ts)).abs() > caliper {
+            mpa_obs::counters::CAUSAL_CALIPER_DROPS.incr();
             continue;
         }
         result.matched_treated_ix.push(ti);
@@ -296,6 +306,7 @@ fn compare_bins(
     }
     result.n_pairs = diffs.len();
     result.n_untreated_matched = used_untreated.len();
+    mpa_obs::counters::CAUSAL_MATCHED_PAIRS.add(diffs.len() as u64);
 
     // Balance over the matched samples (duplicates included: matching with
     // replacement weights untreated cases by reuse).

@@ -1,11 +1,50 @@
 //! End-to-end tests of the `mpa-cli` binary: generate → infer → analyze →
-//! predict on real files in a temp directory.
+//! predict on real files in a temp directory, plus the observability
+//! contract: strict flag validation (exit 2), well-formed `--obs-out` run
+//! reports, and counter totals that do not depend on the thread count.
 
+use serde::Value;
 use std::path::PathBuf;
 use std::process::Command;
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_mpa-cli"))
+}
+
+/// Look up a key in a JSON object (panics with context on a miss — these
+/// are assertions about the report shape, not recoverable errors).
+fn get<'v>(v: &'v Value, key: &str) -> &'v Value {
+    v.as_object()
+        .unwrap_or_else(|| panic!("expected object, found {}", v.kind()))
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("missing key {key:?}"))
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::Num(serde::Number::U64(n)) => *n,
+        Value::Num(serde::Number::I64(n)) => u64::try_from(*n).expect("non-negative"),
+        other => panic!("expected unsigned integer, found {}", other.kind()),
+    }
+}
+
+/// Collect every span label in the report's span forest, depth first.
+fn span_labels(spans: &Value, out: &mut Vec<String>) {
+    for span in spans.as_array().expect("spans array") {
+        if let Value::String(label) = get(span, "label") {
+            out.push(label.clone());
+        }
+        span_labels(get(span, "children"), out);
+    }
+}
+
+fn read_report(path: &PathBuf) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()))
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -102,6 +141,152 @@ fn missing_arguments_fail_cleanly() {
 
     let out = cli().args(["frobnicate"]).output().expect("unknown command");
     assert!(!out.status.success());
+}
+
+#[test]
+fn invalid_flag_values_are_rejected_with_exit_2() {
+    // Regression: these used to fall back to defaults silently (e.g.
+    // `--seed abc` generated the default-seed dataset). Each must now fail
+    // fast with exit code 2 and name the offending flag on stderr.
+    let cases: &[(&[&str], &str)] = &[
+        (&["generate", "--scale", "tiny", "--seed", "abc"], "--seed"),
+        (&["infer", "--delta", "ten"], "--delta"),
+        (&["analyze", "--causal-top", "-1"], "--causal-top"),
+        (&["report", "--threads", "1.5"], "--threads"),
+        (&["predict", "--classes", "two"], "--classes"),
+        (&["predict", "--classes", "3"], "--classes must be 2 or 5"),
+        (&["predict", "--classes", "0"], "--classes must be 2 or 5"),
+    ];
+    for (args, needle) in cases {
+        let out = cli().args(*args).output().expect("run cli");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "args {args:?}: stderr {err:?} lacks {needle:?}");
+    }
+}
+
+/// Generate a tiny dataset + case table once for the obs-report tests.
+fn tiny_table(tag: &str) -> PathBuf {
+    let dataset = tmp(&format!("{tag}-dataset.json"));
+    let table = tmp(&format!("{tag}-table.json"));
+    let out = cli()
+        .args(["generate", "--scale", "tiny", "--out", dataset.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["infer", "--dataset", dataset.to_str().unwrap(), "--out", table.to_str().unwrap()])
+        .output()
+        .expect("run infer");
+    assert!(out.status.success(), "infer failed: {}", String::from_utf8_lossy(&out.stderr));
+    table
+}
+
+#[test]
+fn obs_report_is_well_formed_and_cache_counters_balance() {
+    let dataset = tmp("obs-dataset.json");
+    let table = tmp("obs-table.json");
+    let infer_obs = tmp("obs-infer-run.json");
+    let report_obs = tmp("obs-report-run.json");
+
+    let out = cli()
+        .args(["generate", "--scale", "tiny", "--out", dataset.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args([
+            "infer",
+            "--dataset",
+            dataset.to_str().unwrap(),
+            "--out",
+            table.to_str().unwrap(),
+            "--obs-out",
+            infer_obs.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run infer");
+    assert!(out.status.success(), "infer failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The infer run's report: the parse cache must account for every
+    // snapshot it visited — hits + misses == visited, and work happened.
+    let report = read_report(&infer_obs);
+    let counters = get(&report, "counters");
+    let visited = as_u64(get(counters, "parse_snapshots_visited"));
+    let hits = as_u64(get(counters, "parse_cache_hits"));
+    let misses = as_u64(get(counters, "parse_cache_misses"));
+    assert!(visited > 0, "infer visited no snapshots");
+    assert_eq!(hits + misses, visited, "cache accounting leak: {hits} + {misses} != {visited}");
+    let mut labels = Vec::new();
+    span_labels(get(&report, "spans"), &mut labels);
+    assert!(labels.iter().any(|l| l == "infer"), "spans {labels:?} lack \"infer\"");
+
+    // The report command's report: the span forest covers every phase, and
+    // the envelope records the process vitals.
+    let out = cli()
+        .args([
+            "report",
+            "--table",
+            table.to_str().unwrap(),
+            "--causal-top",
+            "2",
+            "--obs-out",
+            report_obs.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run report");
+    assert!(out.status.success(), "report failed: {}", String::from_utf8_lossy(&out.stderr));
+    let report = read_report(&report_obs);
+    assert_eq!(as_u64(get(&report, "version")), 1);
+    if std::path::Path::new("/proc/self/status").exists() {
+        assert!(as_u64(get(&report, "peak_rss_bytes")) > 0);
+    }
+    let mut labels = Vec::new();
+    span_labels(get(&report, "spans"), &mut labels);
+    for phase in ["mi_ranking", "cmi_ranking", "causal", "predict"] {
+        assert!(labels.iter().any(|l| l == phase), "spans {labels:?} lack {phase:?}");
+    }
+}
+
+#[test]
+fn counter_totals_do_not_depend_on_thread_count() {
+    let table = tiny_table("invariance");
+    let mut snapshots: Vec<(String, Value)> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let obs = tmp(&format!("invariance-run-{threads}.json"));
+        let out = cli()
+            .args([
+                "report",
+                "--table",
+                table.to_str().unwrap(),
+                "--causal-top",
+                "2",
+                "--threads",
+                threads,
+                "--obs-out",
+                obs.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run report");
+        assert!(
+            out.status.success(),
+            "report --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report = read_report(&obs);
+        snapshots.push((threads.to_string(), get(&report, "counters").clone()));
+    }
+    // The counter registry's contract: totals are a pure function of the
+    // work, never of the scheduling. Timings and the scheduling section may
+    // differ; the counters object must be identical at 1, 2 and 8 threads.
+    let (ref_threads, reference) = &snapshots[0];
+    for (threads, counters) in &snapshots[1..] {
+        assert_eq!(
+            counters, reference,
+            "counter totals differ between --threads {ref_threads} and --threads {threads}"
+        );
+    }
 }
 
 #[test]

@@ -45,6 +45,12 @@ pub fn set_threads(n: usize) {
 
 /// The number of worker threads parallel regions will use right now.
 pub fn threads() -> usize {
+    let n = resolve_threads();
+    mpa_obs::gauges::EXEC_THREADS.set(n as u64);
+    n
+}
+
+fn resolve_threads() -> usize {
     let requested = REQUESTED_THREADS.load(Ordering::Relaxed);
     if requested > 0 {
         return requested;
@@ -76,17 +82,37 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // Counted before the sequential-fallback check, so the totals are a
+    // pure function of the work submitted — invariant across thread
+    // counts (the obs counter contract).
+    mpa_obs::counters::PAR_MAP_REGIONS.incr();
+    mpa_obs::counters::PAR_MAP_TASKS.add(items.len() as u64);
+    par_map_impl(items, f)
+}
+
+/// The uncounted engine behind [`par_map`] (also driven by
+/// [`par_chunk_map`], which counts its own logical items rather than the
+/// chunks it schedules).
+fn par_map_impl<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n_threads = threads().min(items.len());
     if n_threads <= 1 || IN_WORKER.with(Cell::get) {
+        mpa_obs::sched::record_worker(0, items.len() as u64);
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
 
     let next = AtomicUsize::new(0);
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(n_threads);
     std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|slot| {
+                scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
                     let mut local = Vec::new();
                     loop {
@@ -96,6 +122,7 @@ where
                         }
                         local.push((i, f(i, &items[i])));
                     }
+                    mpa_obs::sched::record_worker(slot, local.len() as u64);
                     local
                 })
             })
@@ -107,6 +134,10 @@ where
             }
         }
     });
+
+    let busiest = parts.iter().map(Vec::len).max().unwrap_or(0);
+    let idlest = parts.iter().map(Vec::len).min().unwrap_or(0);
+    mpa_obs::sched::record_region((busiest - idlest) as u64);
 
     let mut merged: Vec<(usize, R)> = parts.into_iter().flatten().collect();
     merged.sort_unstable_by_key(|&(i, _)| i);
@@ -128,13 +159,18 @@ where
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
     let min_chunk = min_chunk.max(1);
+    // Counted in input elements (not chunks): chunk geometry depends on
+    // the thread count, element totals do not.
+    mpa_obs::counters::PAR_MAP_REGIONS.incr();
+    mpa_obs::counters::PAR_MAP_TASKS.add(items.len() as u64);
     let n_threads = threads().min(items.len().div_ceil(min_chunk));
     if n_threads <= 1 || IN_WORKER.with(Cell::get) {
+        mpa_obs::sched::record_worker(0, 1);
         return f(items);
     }
     let chunk = items.len().div_ceil(n_threads);
     let chunks: Vec<&[T]> = items.chunks(chunk).collect();
-    par_map(&chunks, |_, c| f(c)).into_iter().flatten().collect()
+    par_map_impl(&chunks, |_, c| f(c)).into_iter().flatten().collect()
 }
 
 /// Derive an independent RNG seed stream from a master seed.
@@ -153,16 +189,24 @@ pub fn stream_seed(master: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Run `f`, printing `[mpa] <label>: <elapsed>` to stderr when phase
-/// timing is enabled (the binaries enable it; library/test callers don't).
+/// Run `f` as an observability span named `label`, additionally printing
+/// `[mpa] <label>: <elapsed>` to stderr when phase timing is enabled (the
+/// binaries enable it; library/test callers don't).
+///
+/// This is a thin shim over [`mpa_obs::span`]: the span records into the
+/// run report whenever a collector is installed (`--obs-out`), and the
+/// stderr line keeps the historical `timed_phase` behavior for existing
+/// call sites.
 pub fn timed_phase<R>(label: &str, f: impl FnOnce() -> R) -> R {
-    if !phase_timing_enabled() {
-        return f();
-    }
-    let start = Instant::now();
-    let result = f();
-    eprintln!("[mpa] {label}: {:.2?}", start.elapsed());
-    result
+    mpa_obs::span(label, || {
+        if !phase_timing_enabled() {
+            return f();
+        }
+        let start = Instant::now();
+        let result = f();
+        eprintln!("[mpa] {label}: {:.2?}", start.elapsed());
+        result
+    })
 }
 
 static PHASE_TIMING: AtomicUsize = AtomicUsize::new(0);
@@ -181,10 +225,47 @@ pub fn phase_timing_enabled() -> bool {
 mod tests {
     use super::*;
 
+    /// Scoped, mutex-guarded override of the process-wide thread request.
+    ///
+    /// `cargo test` runs tests on concurrent threads, and
+    /// `REQUESTED_THREADS` is process-global: a bare
+    /// `set_threads(8) … set_threads(0)` pair in one test races with every
+    /// other test's window (one test could observe another's reset
+    /// mid-run). The guard serializes all thread-count-sensitive tests on
+    /// one mutex and restores the previous request on drop, panic
+    /// included.
+    struct ThreadGuard {
+        prev: usize,
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+
+    impl ThreadGuard {
+        /// Acquire the test lock and pin the requested thread count.
+        fn pin(n: usize) -> Self {
+            static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+            let lock = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let prev = REQUESTED_THREADS.load(Ordering::Relaxed);
+            set_threads(n);
+            Self { prev, _lock: lock }
+        }
+
+        /// Re-pin while continuing to hold the lock (for tests that sweep
+        /// several thread counts).
+        fn set(&self, n: usize) {
+            set_threads(n);
+        }
+    }
+
+    impl Drop for ThreadGuard {
+        fn drop(&mut self) {
+            REQUESTED_THREADS.store(self.prev, Ordering::Relaxed);
+        }
+    }
+
     #[test]
     fn par_map_preserves_input_order() {
         let items: Vec<u64> = (0..997).collect();
-        set_threads(8);
+        let _threads = ThreadGuard::pin(8);
         let par: Vec<u64> = par_map(&items, |i, &x| {
             // Uneven work to force out-of-order completion.
             let spin = (x % 7) * 50;
@@ -197,7 +278,6 @@ mod tests {
             std::hint::black_box((acc, i));
             x * 2
         });
-        set_threads(0);
         let seq: Vec<u64> = items.iter().map(|&x| x * 2).collect();
         assert_eq!(par, seq);
     }
@@ -206,31 +286,45 @@ mod tests {
     fn par_map_matches_sequential_at_every_thread_count() {
         let items: Vec<u32> = (0..64).collect();
         let expect: Vec<u32> = items.iter().map(|x| x * x).collect();
+        let threads = ThreadGuard::pin(1);
         for t in [1, 2, 3, 8] {
-            set_threads(t);
+            threads.set(t);
             assert_eq!(par_map(&items, |_, &x| x * x), expect, "threads={t}");
         }
-        set_threads(0);
     }
 
     #[test]
     fn par_chunk_map_concatenates_in_order() {
         let items: Vec<u32> = (0..1000).collect();
-        set_threads(4);
+        let _threads = ThreadGuard::pin(4);
         let out = par_chunk_map(&items, 16, |chunk| chunk.iter().map(|x| x + 1).collect());
-        set_threads(0);
         assert_eq!(out, (1..=1000).collect::<Vec<u32>>());
     }
 
     #[test]
     fn nested_par_map_stays_sequential() {
-        set_threads(4);
+        let _threads = ThreadGuard::pin(4);
         let outer: Vec<usize> = par_map(&[10usize, 20, 30], |_, &n| {
             // Inner region must not spawn (and must still be correct).
             par_map(&(0..n).collect::<Vec<_>>(), |_, &x| x).len()
         });
-        set_threads(0);
         assert_eq!(outer, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn thread_guard_restores_previous_request() {
+        let outer = ThreadGuard::pin(6);
+        assert_eq!(threads(), 6);
+        drop(outer);
+        {
+            let _inner = ThreadGuard::pin(3);
+            assert_eq!(threads(), 3);
+        }
+        // After the scope, the pre-guard request (whatever it was) is
+        // back; pin once more to observe a clean slate.
+        let again = ThreadGuard::pin(5);
+        assert_eq!(threads(), 5);
+        drop(again);
     }
 
     #[test]
@@ -245,6 +339,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_inputs() {
+        let _threads = ThreadGuard::pin(2);
         let empty: Vec<u8> = Vec::new();
         assert!(par_map(&empty, |_, &x| x).is_empty());
         assert_eq!(par_map(&[5u8], |i, &x| (i, x)), vec![(0, 5)]);
@@ -253,14 +348,28 @@ mod tests {
 
     #[test]
     fn panics_propagate() {
-        set_threads(2);
+        let _threads = ThreadGuard::pin(2);
         let result = std::panic::catch_unwind(|| {
             par_map(&[1u8, 2, 3, 4], |_, &x| {
                 assert!(x != 3, "boom");
                 x
             })
         });
-        set_threads(0);
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_records_observability_totals() {
+        let _threads = ThreadGuard::pin(4);
+        let before = mpa_obs::counters::snapshot();
+        let items: Vec<u32> = (0..100).collect();
+        let _ = par_map(&items, |_, &x| x);
+        let _ = par_chunk_map(&items, 10, |c| c.to_vec());
+        let diff = mpa_obs::counters::snapshot_diff(&before, &mpa_obs::counters::snapshot());
+        let get = |name: &str| diff.iter().find(|(n, _)| *n == name).unwrap().1;
+        // Other tests may run par_map concurrently, so totals are lower
+        // bounds: both calls counted, both in input elements.
+        assert!(get("par_map_regions") >= 2);
+        assert!(get("par_map_tasks") >= 200);
     }
 }

@@ -63,6 +63,7 @@ impl AdaBoost {
         let mut members: Vec<(DecisionTree, f64)> = Vec::new();
 
         for _ in 0..config.iterations {
+            mpa_obs::counters::BOOST_ROUNDS.incr();
             work.set_weights(&weights);
             let tree = DecisionTree::fit(&work, config.tree);
             let preds = tree.predict_all(&work);
@@ -77,12 +78,14 @@ impl AdaBoost {
 
             // SAMME requires err < 1 − 1/K; a perfect learner ends boosting.
             if err <= 1e-12 {
+                mpa_obs::counters::BOOST_EARLY_STOPS.incr();
                 members.push((tree, 10.0)); // overwhelming vote
                 break;
             }
             if err >= 1.0 - 1.0 / k {
                 // Weak learner is no better than chance: stop; keep what we
                 // have (or this tree if it is the first).
+                mpa_obs::counters::BOOST_EARLY_STOPS.incr();
                 if members.is_empty() {
                     members.push((tree, 1.0));
                 }

@@ -109,9 +109,17 @@ fn infer_network(
         // lookup-only, so determinism is unaffected.
         let mut canon: Vec<usize> = Vec::with_capacity(texts.len());
         let mut first_seen: HashMap<&str, usize> = HashMap::new();
+        let mut cache_hits = 0u64;
         for (ix, t) in texts.iter().enumerate() {
-            canon.push(*first_seen.entry(t.as_str()).or_insert(ix));
+            let first = *first_seen.entry(t.as_str()).or_insert(ix);
+            cache_hits += u64::from(first != ix);
+            canon.push(first);
         }
+        // One batched add per device keeps the hot loop free of atomics.
+        // Invariant maintained here: hits + misses == snapshots visited.
+        mpa_obs::counters::PARSE_SNAPSHOTS_VISITED.add(texts.len() as u64);
+        mpa_obs::counters::PARSE_CACHE_HITS.add(cache_hits);
+        mpa_obs::counters::PARSE_CACHE_MISSES.add(texts.len() as u64 - cache_hits);
         let parsed: Vec<Option<ParsedConfig<'_>>> = texts
             .iter()
             .enumerate()

@@ -1,0 +1,169 @@
+//! The process-wide counter registry.
+//!
+//! Every counter is declared here — one static per counter, all listed in
+//! [`ALL`] — and incremented from the crate that owns the instrumented
+//! code path. Centralizing the declarations keeps the registry a
+//! compile-time constant (no lazy registration, no locks) and makes the
+//! full counter surface reviewable in one screen.
+//!
+//! **Invariance contract:** a counter's total must be a pure function of
+//! the work performed, never of how the work was scheduled. Anything that
+//! legitimately varies with the worker-thread count belongs in
+//! [`crate::sched`], not here. The CLI integration tests compare these
+//! totals across `--threads 1/2/8` byte for byte.
+//!
+//! To add a counter: declare the static, append it to [`ALL`], increment
+//! it from the owning crate, and confirm the thread-invariance test still
+//! passes (see DESIGN.md §9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A process-wide monotonic event counter (relaxed atomic, label-free).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Declare a counter. Use only for statics in this module.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0) }
+    }
+
+    /// Add `n` events. Relaxed ordering: totals are read only at
+    /// quiescent points (report emission), never used for synchronization.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+// --- archive interning (incremented by mpa-config) -----------------------
+
+/// Distinct config lines stored in archive line tables.
+pub static ARCHIVE_LINES_INTERNED: Counter = Counter::new("archive_lines_interned");
+/// Intern lookups resolved to an already-stored line.
+pub static ARCHIVE_LINE_HITS: Counter = Counter::new("archive_line_hits");
+/// Bytes of config text (line + newline) not stored thanks to interning.
+pub static ARCHIVE_BYTES_SAVED: Counter = Counter::new("archive_bytes_saved");
+
+// --- inference parse cache (incremented by mpa-metrics) ------------------
+
+/// Snapshots walked by the inference pipeline (= parse-cache lookups).
+pub static PARSE_SNAPSHOTS_VISITED: Counter = Counter::new("parse_snapshots_visited");
+/// Snapshots whose text was already parsed for the same device.
+pub static PARSE_CACHE_HITS: Counter = Counter::new("parse_cache_hits");
+/// Snapshots with novel text, parsed and fact-extracted once.
+pub static PARSE_CACHE_MISSES: Counter = Counter::new("parse_cache_misses");
+
+// --- parallel execution (incremented by mpa-exec) ------------------------
+
+/// Parallel regions entered (`par_map` + `par_chunk_map` calls, counted
+/// before the sequential-fallback check so the total is thread-invariant).
+pub static PAR_MAP_REGIONS: Counter = Counter::new("par_map_regions");
+/// Work items submitted to parallel regions (input elements, not chunks).
+pub static PAR_MAP_TASKS: Counter = Counter::new("par_map_tasks");
+
+// --- causal matching (incremented by mpa-core) ---------------------------
+
+/// Neighbouring-bin comparisons attempted.
+pub static CAUSAL_COMPARISONS: Counter = Counter::new("causal_comparisons");
+/// Cases discarded for falling outside the common support.
+pub static CAUSAL_SUPPORT_DROPS: Counter = Counter::new("causal_support_drops");
+/// Treated cases dropped because no neighbour fell within the caliper.
+pub static CAUSAL_CALIPER_DROPS: Counter = Counter::new("causal_caliper_drops");
+/// Matched pairs formed across all comparisons.
+pub static CAUSAL_MATCHED_PAIRS: Counter = Counter::new("causal_matched_pairs");
+
+// --- boosting (incremented by mpa-learn) ---------------------------------
+
+/// AdaBoost rounds executed (trees fitted inside the boosting loop).
+pub static BOOST_ROUNDS: Counter = Counter::new("boost_rounds");
+/// Boosting runs that stopped before their configured iteration budget.
+pub static BOOST_EARLY_STOPS: Counter = Counter::new("boost_early_stops");
+
+/// Every registered counter, in report order.
+pub static ALL: &[&Counter] = &[
+    &ARCHIVE_LINES_INTERNED,
+    &ARCHIVE_LINE_HITS,
+    &ARCHIVE_BYTES_SAVED,
+    &PARSE_SNAPSHOTS_VISITED,
+    &PARSE_CACHE_HITS,
+    &PARSE_CACHE_MISSES,
+    &PAR_MAP_REGIONS,
+    &PAR_MAP_TASKS,
+    &CAUSAL_COMPARISONS,
+    &CAUSAL_SUPPORT_DROPS,
+    &CAUSAL_CALIPER_DROPS,
+    &CAUSAL_MATCHED_PAIRS,
+    &BOOST_ROUNDS,
+    &BOOST_EARLY_STOPS,
+];
+
+/// Snapshot every registered counter as `(name, total)` in report order.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    ALL.iter().map(|c| (c.name(), c.get())).collect()
+}
+
+/// Pairwise difference of two snapshots taken around a region of work
+/// (`after - before`, saturating). Panics if the snapshots come from
+/// different registry versions.
+pub fn snapshot_diff(
+    before: &[(&'static str, u64)],
+    after: &[(&'static str, u64)],
+) -> Vec<(&'static str, u64)> {
+    assert_eq!(before.len(), after.len(), "snapshots from different registries");
+    before
+        .iter()
+        .zip(after)
+        .map(|(&(bn, bv), &(an, av))| {
+            assert_eq!(bn, an, "snapshots from different registries");
+            (an, av.saturating_sub(bv))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let mut names: Vec<&str> = ALL.iter().map(|c| c.name()).collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate counter name registered");
+    }
+
+    #[test]
+    fn add_and_snapshot_diff() {
+        let before = snapshot();
+        PARSE_CACHE_HITS.add(3);
+        PARSE_CACHE_HITS.incr();
+        let after = snapshot();
+        let diff = snapshot_diff(&before, &after);
+        let hits = diff.iter().find(|(n, _)| *n == "parse_cache_hits").unwrap();
+        // Other tests in this process may also touch the counter, so the
+        // delta is at least what this test added.
+        assert!(hits.1 >= 4, "expected >= 4 hits, saw {}", hits.1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal JSON emission.
+//!
+//! `mpa-obs` deliberately has no dependencies (not even the workspace's
+//! vendored serde), so the run report writes its own JSON. Only emission
+//! is needed — the report is write-only from this crate's perspective —
+//! and only strings, integers, arrays and objects appear in it.
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a `"name": value` list as a JSON object, one pair per line at
+/// the given indent.
+pub fn push_u64_object(out: &mut String, pairs: &[(&str, u64)], indent: usize) {
+    if pairs.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    let pad = " ".repeat(indent + 2);
+    out.push_str("{\n");
+    for (i, (name, value)) in pairs.iter().enumerate() {
+        out.push_str(&pad);
+        push_str_literal(out, name);
+        out.push_str(": ");
+        out.push_str(&value.to_string());
+        if i + 1 < pairs.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(indent));
+    out.push('}');
+}
+
+/// Append a `u64` slice as a JSON array.
+pub fn push_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_and_array_shapes() {
+        let mut out = String::new();
+        push_u64_object(&mut out, &[("a", 1), ("b", 2)], 0);
+        assert_eq!(out, "{\n  \"a\": 1,\n  \"b\": 2\n}");
+        let mut out = String::new();
+        push_u64_object(&mut out, &[], 0);
+        assert_eq!(out, "{}");
+        let mut out = String::new();
+        push_u64_array(&mut out, &[3, 4]);
+        assert_eq!(out, "[3, 4]");
+    }
+}

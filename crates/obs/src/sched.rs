@@ -1,0 +1,79 @@
+//! Scheduling statistics: how parallel work was actually distributed.
+//!
+//! Everything here is deliberately **thread-count dependent** — per-worker
+//! task counts and region imbalance describe scheduling, not work — so it
+//! is reported in its own section and excluded from the counter-invariance
+//! checks. `mpa-exec` records into this module from its worker loops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Worker slots tracked individually; higher slots fold into the last one
+/// (the pipeline caps workers at the core count, far below this).
+pub const MAX_SLOTS: usize = 64;
+
+static WORKER_TASKS: [AtomicU64; MAX_SLOTS] = [const { AtomicU64::new(0) }; MAX_SLOTS];
+static PARALLEL_REGIONS: AtomicU64 = AtomicU64::new(0);
+static MAX_REGION_IMBALANCE: AtomicU64 = AtomicU64::new(0);
+
+/// Record that worker slot `slot` processed `tasks` scheduling units in
+/// one region (items for `par_map`, chunks for `par_chunk_map`;
+/// sequential fallbacks record everything on slot 0).
+pub fn record_worker(slot: usize, tasks: u64) {
+    WORKER_TASKS[slot.min(MAX_SLOTS - 1)].fetch_add(tasks, Ordering::Relaxed);
+}
+
+/// Record one region that actually fanned out, with the spread between
+/// its busiest and idlest worker (in scheduling units).
+pub fn record_region(imbalance: u64) {
+    PARALLEL_REGIONS.fetch_add(1, Ordering::Relaxed);
+    MAX_REGION_IMBALANCE.fetch_max(imbalance, Ordering::Relaxed);
+}
+
+/// Point-in-time view of the scheduling stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// Tasks processed per worker slot, trailing idle slots trimmed.
+    pub worker_tasks: Vec<u64>,
+    /// Regions that ran on more than one worker.
+    pub parallel_regions: u64,
+    /// Largest per-region spread between the busiest and idlest worker.
+    pub max_region_imbalance: u64,
+}
+
+/// Snapshot the scheduling stats.
+pub fn snapshot() -> SchedSnapshot {
+    let mut worker_tasks: Vec<u64> =
+        WORKER_TASKS.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    while worker_tasks.last() == Some(&0) {
+        worker_tasks.pop();
+    }
+    SchedSnapshot {
+        worker_tasks,
+        parallel_regions: PARALLEL_REGIONS.load(Ordering::Relaxed),
+        max_region_imbalance: MAX_REGION_IMBALANCE.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_and_trim() {
+        record_worker(0, 5);
+        record_worker(1, 2);
+        record_region(3);
+        let snap = snapshot();
+        assert!(snap.worker_tasks.len() >= 2);
+        assert!(snap.worker_tasks[0] >= 5);
+        assert!(snap.parallel_regions >= 1);
+        assert!(snap.max_region_imbalance >= 3);
+    }
+
+    #[test]
+    fn out_of_range_slot_folds_into_last() {
+        record_worker(MAX_SLOTS + 10, 1);
+        let v = WORKER_TASKS[MAX_SLOTS - 1].load(Ordering::Relaxed);
+        assert!(v >= 1);
+    }
+}
