@@ -90,8 +90,18 @@ fn main() {
             bench.archive_total_bytes as f64 / bench.archive_text_bytes.max(1) as f64
         );
         eprintln!(
-            "[mpa]   speedup {:.2}x, deterministic: {} -> wrote {path}",
-            bench.speedup, bench.deterministic
+            "[mpa]   snapshot dedup: {:.1}% of replayed snapshots were distinct \
+             (materialized + parsed once each)",
+            bench.snapshot_dedup_ratio * 100.0
+        );
+        eprintln!(
+            "[mpa]   speedup {:.2}x total (generate {:.2}x, infer {:.2}x, mi {:.2}x), \
+             deterministic: {} -> wrote {path}",
+            bench.speedup,
+            bench.generate_speedup,
+            bench.infer_speedup,
+            bench.mi_ranking_speedup,
+            bench.deterministic
         );
         if targets.is_empty() {
             write_obs_report(obs_out.as_deref());

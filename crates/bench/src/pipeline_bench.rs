@@ -58,6 +58,19 @@ pub struct PipelineBench {
     pub runs: Vec<PipelineRun>,
     /// Total-time speedup of the best run over the 1-thread run.
     pub speedup: f64,
+    /// Generate-phase speedup of the best run over the baseline run —
+    /// per-phase figures localize a scaling regression to the stage that
+    /// reintroduced a serial bottleneck.
+    pub generate_speedup: f64,
+    /// Infer-phase speedup of the best run over the baseline run.
+    pub infer_speedup: f64,
+    /// MI-ranking-phase speedup of the best run over the baseline run.
+    pub mi_ranking_speedup: f64,
+    /// Distinct snapshot states / snapshots visited during inference
+    /// (`parse_cache_misses / parse_snapshots_visited` of the baseline
+    /// run): the fraction of replayed snapshots the dedup-before-
+    /// materialize path actually had to render and parse.
+    pub snapshot_dedup_ratio: f64,
     /// Whether every run produced bit-identical output (summary, case
     /// rows and MI ranking compared across thread counts).
     pub deterministic: bool,
@@ -147,8 +160,17 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
     }
     mpa_exec::set_threads(saved);
 
-    let base = runs[0].total_s;
-    let best = runs.iter().map(|r| r.total_s).fold(f64::INFINITY, f64::min);
+    let phase_speedup = |phase: fn(&PipelineRun) -> f64| -> f64 {
+        let base = phase(&runs[0]);
+        let best = runs.iter().map(phase).fold(f64::INFINITY, f64::min);
+        if best > 0.0 { base / best } else { 1.0 }
+    };
+    let dedup_ratio = {
+        let c = &runs[0].counters;
+        let visited = c.get("parse_snapshots_visited").copied().unwrap_or(0);
+        let distinct = c.get("parse_cache_misses").copied().unwrap_or(0);
+        if visited > 0 { distinct as f64 / visited as f64 } else { 1.0 }
+    };
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
     PipelineBench {
@@ -157,8 +179,12 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
         available_cores: host_cores.max(max_threads),
         archive_total_bytes,
         archive_text_bytes,
+        speedup: phase_speedup(|r| r.total_s),
+        generate_speedup: phase_speedup(|r| r.generate_s),
+        infer_speedup: phase_speedup(|r| r.infer_s),
+        mi_ranking_speedup: phase_speedup(|r| r.mi_ranking_s),
+        snapshot_dedup_ratio: dedup_ratio,
         runs,
-        speedup: if best > 0.0 { base / best } else { 1.0 },
         deterministic,
     }
 }
@@ -189,6 +215,28 @@ mod tests {
             bench.available_cores
         );
         assert_eq!(bench.runs.iter().map(|r| r.threads).max(), Some(8));
+    }
+
+    #[test]
+    fn per_phase_speedups_and_dedup_ratio_are_recorded() {
+        let bench = run_pipeline_bench(&Scenario::tiny(), &[1, 2]);
+        for (name, v) in [
+            ("generate", bench.generate_speedup),
+            ("infer", bench.infer_speedup),
+            ("mi_ranking", bench.mi_ranking_speedup),
+            ("total", bench.speedup),
+        ] {
+            assert!(v.is_finite() && v >= 1.0, "{name} speedup must be ≥ 1 (best run): {v}");
+        }
+        assert!(
+            bench.snapshot_dedup_ratio > 0.0 && bench.snapshot_dedup_ratio <= 1.0,
+            "dedup ratio out of range: {}",
+            bench.snapshot_dedup_ratio
+        );
+        let json = serde_json::to_string(&bench).expect("serializes");
+        for key in ["generate_speedup", "infer_speedup", "mi_ranking_speedup", "snapshot_dedup_ratio"] {
+            assert!(json.contains(key), "{key} missing from artifact");
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use crate::snapshot::{Login, Snapshot, SnapshotMeta};
 use mpa_model::{DeviceId, Timestamp};
 use serde::{expect_object, field, Deserialize, Error as SerdeError, Serialize, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 /// Id of an interned configuration line within an archive's [`LineTable`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -181,6 +182,24 @@ impl DeviceHistory {
     fn stored_ids(&self) -> usize {
         self.base.len() + self.deltas.iter().map(LineDelta::stored_ids).sum::<usize>()
     }
+
+    /// Rewrite every stored line id through `remap` in place (shard-local →
+    /// global ids during [`SnapshotArchive::merge_all`]), returning the
+    /// number of ids rewritten.
+    fn remap_ids(&mut self, remap: &[LineId]) -> u64 {
+        fn map_seq(seq: &mut [LineId], remap: &[LineId]) -> u64 {
+            for id in seq.iter_mut() {
+                *id = remap[id.0 as usize];
+            }
+            seq.len() as u64
+        }
+        let mut n = map_seq(&mut self.base, remap);
+        for d in &mut self.deltas {
+            n += map_seq(&mut d.removed, remap);
+            n += map_seq(&mut d.added, remap);
+        }
+        n + map_seq(&mut self.tip, remap)
+    }
 }
 
 impl Serialize for DeviceHistory {
@@ -230,6 +249,101 @@ fn materialize(table: &LineTable, lines: &[LineId], text_len: usize) -> String {
     }
     debug_assert_eq!(out.len(), text_len, "reconstruction length mismatch");
     out
+}
+
+/// Reusable scratch for [`SnapshotArchive::device_distinct_texts`]: one
+/// device's **distinct** snapshot texts packed back-to-back into a single
+/// arena, plus the canonical (distinct-slot) index of every snapshot.
+///
+/// Duplicate snapshot states — a device reverting to an exact earlier
+/// configuration — are detected *before* any text is rendered, by comparing
+/// the delta-replayed interned line-id sequences together with the recorded
+/// byte length (within one archive, `(line ids, byte length)` identifies a
+/// snapshot's text exactly: interning is canonical, and the byte length
+/// disambiguates the trailing newline). Only distinct states are
+/// materialized, into the shared arena, so a full device walk costs one
+/// `String` total instead of one per snapshot — the allocation churn that
+/// used to serialize the parallel inference phase on the allocator.
+///
+/// Reuse the buffer across devices (`device_distinct_texts` clears it but
+/// keeps capacity); slices returned by [`Self::text`] borrow the arena and
+/// stay valid until the next fill.
+#[derive(Debug, Default)]
+pub struct ReplayBuffer {
+    /// Arena holding the distinct snapshot texts, concatenated.
+    text: String,
+    /// Byte range of each distinct slot within `text`.
+    spans: Vec<(usize, usize)>,
+    /// `canon[ix]` = distinct slot carrying snapshot `ix`'s text.
+    canon: Vec<usize>,
+    /// Arena of the distinct slots' line-id sequences (the dedup key).
+    ids: Vec<LineId>,
+    /// Per-slot `(ids_start, ids_end, text_len)`.
+    id_spans: Vec<(usize, usize, usize)>,
+    /// Sequence-hash → candidate slots. Lookup-only (collisions resolved by
+    /// comparing the stored sequences), so determinism is unaffected.
+    index: HashMap<u64, Vec<usize>>,
+    /// Replay cursor (the current line-id state), reused across devices.
+    cur: Vec<LineId>,
+}
+
+impl ReplayBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots replayed by the last fill.
+    pub fn n_snapshots(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// Distinct snapshot states materialized by the last fill.
+    pub fn n_distinct(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Canonical distinct-slot index per snapshot, oldest first (parallel
+    /// to [`SnapshotArchive::device_metas`]).
+    pub fn canon(&self) -> &[usize] {
+        &self.canon
+    }
+
+    /// The materialized text of a distinct slot.
+    pub fn text(&self, slot: usize) -> &str {
+        let (start, end) = self.spans[slot];
+        &self.text[start..end]
+    }
+
+    /// The text of snapshot `ix` (convenience over `text(canon[ix])`).
+    pub fn snapshot_text(&self, ix: usize) -> &str {
+        self.text(self.canon[ix])
+    }
+
+    fn clear(&mut self) {
+        self.text.clear();
+        self.spans.clear();
+        self.canon.clear();
+        self.ids.clear();
+        self.id_spans.clear();
+        self.index.clear();
+    }
+
+    fn seq_hash(ids: &[LineId], text_len: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        ids.hash(&mut h);
+        text_len.hash(&mut h);
+        h.finish()
+    }
+
+    /// The slot already carrying `(ids, text_len)`, if any.
+    fn find(&self, hash: u64, ids: &[LineId], text_len: usize) -> Option<usize> {
+        let candidates = self.index.get(&hash)?;
+        candidates.iter().copied().find(|&slot| {
+            let (start, end, len) = self.id_spans[slot];
+            len == text_len && self.ids[start..end] == *ids
+        })
+    }
 }
 
 /// Per-device, chronologically ordered snapshot store, delta-encoded.
@@ -325,6 +439,67 @@ impl SnapshotArchive {
         out
     }
 
+    /// Replay a device's history, dedup snapshot states on the interned
+    /// line-id sequences, and materialize **only the distinct states** into
+    /// `buf`'s shared arena (cleared first, capacity kept).
+    ///
+    /// This is the inference hot path: where [`Self::device_texts`] returns
+    /// one freshly allocated `String` per snapshot and leaves duplicate
+    /// detection (hashing full text) to the caller, this path compares
+    /// 4-byte-per-line id sequences and renders each distinct text once.
+    /// `buf.canon()` maps every snapshot to its distinct slot, in
+    /// first-appearance order — byte-for-byte the same canonicalization a
+    /// full-text dedup would produce (property-tested).
+    pub fn device_distinct_texts(&self, dev: DeviceId, buf: &mut ReplayBuffer) {
+        buf.clear();
+        let Some(hist) = self.by_device.get(&dev) else {
+            return;
+        };
+        let mut cur = std::mem::take(&mut buf.cur);
+        cur.clear();
+        cur.extend_from_slice(&hist.base);
+        for (i, &text_len) in hist.text_lens.iter().enumerate() {
+            if i > 0 {
+                hist.deltas[i - 1].apply(&mut cur);
+            }
+            let hash = ReplayBuffer::seq_hash(&cur, text_len);
+            let slot = match buf.find(hash, &cur, text_len) {
+                Some(slot) => slot,
+                None => {
+                    let slot = buf.spans.len();
+                    let ids_start = buf.ids.len();
+                    buf.ids.extend_from_slice(&cur);
+                    buf.id_spans.push((ids_start, buf.ids.len(), text_len));
+                    buf.index.entry(hash).or_default().push(slot);
+                    // Render straight into the arena (the inlined body of
+                    // `materialize`, minus the temporary String).
+                    let start = buf.text.len();
+                    for (k, &id) in cur.iter().enumerate() {
+                        if k > 0 {
+                            buf.text.push('\n');
+                        }
+                        buf.text.push_str(self.table.get(id));
+                    }
+                    if buf.text.len() - start + 1 == text_len {
+                        buf.text.push('\n');
+                    }
+                    debug_assert_eq!(
+                        buf.text.len() - start,
+                        text_len,
+                        "reconstruction length mismatch"
+                    );
+                    buf.spans.push((start, buf.text.len()));
+                    slot
+                }
+            };
+            buf.canon.push(slot);
+        }
+        buf.cur = cur;
+        // Batched: one add per device keeps the replay loop free of atomics.
+        mpa_obs::counters::ARCHIVE_SNAPSHOTS_MATERIALIZED.add(buf.spans.len() as u64);
+        mpa_obs::counters::ARCHIVE_BYTES_MATERIALIZED.add(buf.text.len() as u64);
+    }
+
     /// Materialize a device's whole history as owned snapshots.
     pub fn device_history(&self, dev: DeviceId) -> Vec<Snapshot> {
         self.device_metas(dev)
@@ -383,6 +558,59 @@ impl SnapshotArchive {
             let prev = self.by_device.insert(dev, mapped);
             assert!(prev.is_none(), "device {dev:?} present in both merged archives");
         }
+    }
+
+    /// Deterministically merge many device-disjoint shard archives (e.g.
+    /// one per network) into one.
+    ///
+    /// Equivalent to folding [`Self::merge`] into an empty archive in shard
+    /// order — bit-for-bit, including the global table's id assignment and
+    /// the interning counters — but restructured so the dominant cost
+    /// parallelizes instead of re-interning every line of every shard on
+    /// one thread:
+    ///
+    /// 1. **Table union (sequential, small).** Each shard's table holds
+    ///    only its *distinct* lines, so interning the tables in shard order
+    ///    costs O(unique lines) — a tiny fraction of the stored id mass —
+    ///    and yields one old-id → global-id remap vector per shard. Shard
+    ///    tables are dropped here, as soon as they are absorbed.
+    /// 2. **Id remap (parallel).** Each shard's device histories are
+    ///    rewritten **in place** through its remap vector on the worker
+    ///    threads (`mpa_exec::par_map_owned`): no re-hashing, no fresh
+    ///    allocations, and each shard's buffers move straight into the
+    ///    merged archive, so peak memory stays near one archive's worth.
+    ///
+    /// Both phases are pure functions of the shard order, so the result is
+    /// identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if two shards share a device.
+    pub fn merge_all(shards: Vec<SnapshotArchive>) -> SnapshotArchive {
+        let mut table = LineTable::default();
+        let parts: Vec<(Vec<LineId>, BTreeMap<DeviceId, DeviceHistory>)> = shards
+            .into_iter()
+            .map(|shard| {
+                let remap: Vec<LineId> =
+                    shard.table.lines.iter().map(|l| table.intern(l)).collect();
+                (remap, shard.by_device)
+            })
+            .collect();
+        let remapped = mpa_exec::par_map_owned(parts, |_, (remap, mut by_device)| {
+            let mut n = 0u64;
+            for hist in by_device.values_mut() {
+                n += hist.remap_ids(&remap);
+            }
+            mpa_obs::counters::ARCHIVE_MERGE_REMAPPED_LINES.add(n);
+            by_device
+        });
+        let mut by_device: BTreeMap<DeviceId, DeviceHistory> = BTreeMap::new();
+        for shard in remapped {
+            for (dev, hist) in shard {
+                let prev = by_device.insert(dev, hist);
+                assert!(prev.is_none(), "device {dev:?} present in multiple merged shards");
+            }
+        }
+        SnapshotArchive { table, by_device }
     }
 }
 

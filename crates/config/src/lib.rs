@@ -50,7 +50,7 @@ pub mod semantic;
 pub mod snapshot;
 pub mod typemap;
 
-pub use archive::{ArchiveBuilder, LineDelta, LineId, SnapshotArchive};
+pub use archive::{ArchiveBuilder, LineDelta, LineId, ReplayBuffer, SnapshotArchive};
 /// Compatibility alias: the archive is the delta-encoded store.
 pub use archive::SnapshotArchive as Archive;
 pub use diff::{diff_configs, ChangeAction, StanzaChange};

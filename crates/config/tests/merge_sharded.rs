@@ -1,0 +1,94 @@
+//! Sharded-merge equivalence: `SnapshotArchive::merge_all` (table union +
+//! parallel id remap) must yield an archive **byte-identical** to folding
+//! the sequential two-archive `merge` over the same shards, at every
+//! worker-thread count — same device texts, same `total_bytes`, same serde
+//! encoding (which pins the global line table's id assignment, not just
+//! the reconstructed text).
+//!
+//! One test function: the thread count is process-global, so sweeping
+//! 1/2/8 inside a single test avoids races with a concurrent harness.
+
+use mpa_config::snapshot::{Login, Snapshot, SnapshotMeta};
+use mpa_config::SnapshotArchive;
+use mpa_model::{DeviceId, Timestamp};
+
+/// A deterministic fleet of device-disjoint shard archives with heavy
+/// cross-shard line overlap (shared boilerplate) plus per-shard and
+/// per-device unique lines, including multi-snapshot histories and a
+/// revert to an earlier state.
+fn make_shards(n_shards: u32, devices_per_shard: u32) -> Vec<SnapshotArchive> {
+    let mut shards = Vec::new();
+    for s in 0..n_shards {
+        let mut a = SnapshotArchive::new();
+        for d in 0..devices_per_shard {
+            let dev = DeviceId(s * devices_per_shard + d);
+            let base = format!(
+                "hostname h{s}-{d}\n!\nshared boilerplate\ncommon line\nshard {s} local\n!\n"
+            );
+            let edited = format!("{base}vlan {d}\n name v{d}\n!\n");
+            a.push(snap(dev, 0, "alice", &base)).unwrap();
+            a.push(snap(dev, 10, "bob", &edited)).unwrap();
+            // Exact revert to the base state (a real archive shape the
+            // delta encoding must survive through the remap).
+            a.push(snap(dev, 20, "alice", &base)).unwrap();
+        }
+        shards.push(a);
+    }
+    shards
+}
+
+fn snap(dev: DeviceId, t: u64, login: &str, text: &str) -> Snapshot {
+    Snapshot {
+        meta: SnapshotMeta { device: dev, time: Timestamp(t), login: Login::new(login) },
+        text: text.to_string(),
+    }
+}
+
+#[test]
+fn merge_all_is_byte_identical_to_sequential_merge_at_1_2_and_8_threads() {
+    let shards = make_shards(7, 3);
+
+    // Reference: the sequential fold the scenario generator used to run.
+    let mut sequential = SnapshotArchive::new();
+    for shard in shards.clone() {
+        sequential.merge(shard);
+    }
+    let sequential_json = serde_json::to_string(&sequential).expect("serializes");
+
+    let saved = mpa_exec::threads();
+    for threads in [1usize, 2, 8] {
+        mpa_exec::set_threads(threads);
+        let merged = SnapshotArchive::merge_all(shards.clone());
+
+        assert_eq!(merged, sequential, "structural divergence at {threads} threads");
+        assert_eq!(merged.n_snapshots(), sequential.n_snapshots());
+        assert_eq!(merged.total_bytes(), sequential.total_bytes());
+        assert_eq!(merged.text_bytes(), sequential.text_bytes());
+        for dev in sequential.devices() {
+            assert_eq!(
+                merged.device_texts(dev),
+                sequential.device_texts(dev),
+                "device {dev:?} texts diverged at {threads} threads"
+            );
+        }
+        let merged_json = serde_json::to_string(&merged).expect("serializes");
+        assert_eq!(
+            merged_json, sequential_json,
+            "serde encoding (line-table id assignment) diverged at {threads} threads"
+        );
+        // Round-trip the sharded result for good measure.
+        let back: SnapshotArchive = serde_json::from_str(&merged_json).expect("deserializes");
+        assert_eq!(back, merged);
+    }
+    mpa_exec::set_threads(saved);
+}
+
+#[test]
+#[should_panic(expected = "present in multiple")]
+fn merge_all_panics_on_device_collision() {
+    let mut a = SnapshotArchive::new();
+    a.push(snap(DeviceId(1), 0, "x", "a\n")).unwrap();
+    let mut b = SnapshotArchive::new();
+    b.push(snap(DeviceId(1), 0, "y", "b\n")).unwrap();
+    SnapshotArchive::merge_all(vec![a, b]);
+}

@@ -165,12 +165,52 @@ where
     mpa_obs::counters::PAR_MAP_TASKS.add(items.len() as u64);
     let n_threads = threads().min(items.len().div_ceil(min_chunk));
     if n_threads <= 1 || IN_WORKER.with(Cell::get) {
-        mpa_obs::sched::record_worker(0, 1);
+        // Record logical items, matching `par_map`'s fallback — scheduling
+        // stats must not undercount single-threaded runs.
+        mpa_obs::sched::record_worker(0, items.len() as u64);
         return f(items);
     }
     let chunk = items.len().div_ceil(n_threads);
     let chunks: Vec<&[T]> = items.chunks(chunk).collect();
     par_map_impl(&chunks, |_, c| f(c)).into_iter().flatten().collect()
+}
+
+/// Map `f` over `items` **by value** on the configured worker threads,
+/// returning results in input order.
+///
+/// The consuming counterpart of [`par_map`], for transforms that want to
+/// take ownership of each item (remap in place, move big buffers into the
+/// result) and free the item's allocations on the worker as soon as it is
+/// processed — instead of holding the whole input alive until the region
+/// ends. Each item is parked in its own mutex slot and taken exactly once,
+/// which keeps the crate free of `unsafe`; the per-item lock is uncontended
+/// (a slot is touched by exactly one worker) and is noise at the coarse
+/// granularity this crate schedules.
+///
+/// Determinism and observability follow [`par_map`]: results are merged in
+/// input order, and regions/tasks are counted before the
+/// sequential-fallback check.
+///
+/// # Panics
+/// Propagates panics from `f` (the first panicking worker aborts the map).
+pub fn par_map_owned<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    mpa_obs::counters::PAR_MAP_REGIONS.incr();
+    mpa_obs::counters::PAR_MAP_TASKS.add(items.len() as u64);
+    let slots: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|t| std::sync::Mutex::new(Some(t))).collect();
+    par_map_impl(&slots, |i, slot| {
+        let item = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("each slot is claimed exactly once");
+        f(i, item)
+    })
 }
 
 /// Derive an independent RNG seed stream from a master seed.
@@ -325,6 +365,45 @@ mod tests {
         let again = ThreadGuard::pin(5);
         assert_eq!(threads(), 5);
         drop(again);
+    }
+
+    #[test]
+    fn par_map_owned_consumes_and_preserves_order() {
+        let items: Vec<String> = (0..321).map(|i| format!("item {i}")).collect();
+        let expect: Vec<String> = items.iter().map(|s| format!("{s}!")).collect();
+        let threads = ThreadGuard::pin(1);
+        for t in [1, 2, 8] {
+            threads.set(t);
+            let owned = items.clone();
+            // `f` takes the String by value — no clone inside the region.
+            let out = par_map_owned(owned, |_, mut s| {
+                s.push('!');
+                s
+            });
+            assert_eq!(out, expect, "threads={t}");
+        }
+        let empty: Vec<String> = Vec::new();
+        assert!(par_map_owned(empty, |_, s: String| s).is_empty());
+    }
+
+    #[test]
+    fn par_chunk_map_fallback_records_logical_items() {
+        // Regression: the sequential fallback used to record a single
+        // scheduling unit regardless of input size, undercounting
+        // `--threads 1` runs relative to `par_map`'s fallback.
+        let _threads = ThreadGuard::pin(1);
+        let before = mpa_obs::sched::snapshot();
+        let items: Vec<u32> = (0..137).collect();
+        let _ = par_chunk_map(&items, 8, |c| c.to_vec());
+        let after = mpa_obs::sched::snapshot();
+        let slot0 = |s: &mpa_obs::sched::SchedSnapshot| s.worker_tasks.first().copied().unwrap_or(0);
+        assert!(
+            slot0(&after) >= slot0(&before) + 137,
+            "fallback must record all {} items on slot 0 (before {}, after {})",
+            items.len(),
+            slot0(&before),
+            slot0(&after)
+        );
     }
 
     #[test]

@@ -20,10 +20,10 @@ use crate::events::{group_events, DELTA_DEFAULT_MINUTES};
 use crate::table::{Case, CaseTable};
 use mpa_config::facts::{extract_facts, ConfigFacts};
 use mpa_config::typemap::ChangeType;
-use mpa_config::{diff_configs, parse_config, ParsedConfig};
+use mpa_config::{diff_configs, parse_config, ParsedConfig, ReplayBuffer};
 use mpa_model::{DeviceId, NetworkId, Role};
 use mpa_synth::Dataset;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Everything inference produces. The case table drives the analytics; the
 /// per-network change records additionally back the δ-sensitivity and
@@ -93,39 +93,32 @@ fn infer_network(
     let mut facts_by_month: Vec<BTreeMap<DeviceId, ConfigFacts>> =
         vec![BTreeMap::new(); n_months];
 
+    // One replay arena reused across every device of the network: the
+    // archive dedups snapshot states on the interned line-id sequences and
+    // materializes only the distinct texts into this buffer, so the walk
+    // costs one allocation pool per network instead of one `String` per
+    // snapshot (the churn that used to serialize workers on the allocator).
+    let mut replay = ReplayBuffer::new();
     for device in &network.devices {
         let metas = dataset.archive.device_metas(device.id);
         if metas.is_empty() {
             continue;
         }
-        // Materialize the device's texts once (one forward delta replay);
-        // the zero-copy parses below borrow from this buffer.
-        let texts = dataset.archive.device_texts(device.id);
-
-        // Parse cache: `canon[ix]` is the first snapshot index carrying the
-        // same text, so each *distinct* config of the device is parsed (and
-        // fact-extracted) exactly once. Adjacent duplicates never reach the
-        // archive, but reverts to an earlier state do. The map is
-        // lookup-only, so determinism is unaffected.
-        let mut canon: Vec<usize> = Vec::with_capacity(texts.len());
-        let mut first_seen: HashMap<&str, usize> = HashMap::new();
-        let mut cache_hits = 0u64;
-        for (ix, t) in texts.iter().enumerate() {
-            let first = *first_seen.entry(t.as_str()).or_insert(ix);
-            cache_hits += u64::from(first != ix);
-            canon.push(first);
-        }
-        // One batched add per device keeps the hot loop free of atomics.
+        dataset.archive.device_distinct_texts(device.id, &mut replay);
+        // Parse cache: `canon[ix]` is the distinct slot carrying snapshot
+        // `ix`'s text (first-appearance order), so each *distinct* config
+        // of the device is parsed (and fact-extracted) exactly once.
+        // Adjacent duplicates never reach the archive, but reverts to an
+        // earlier state do. Slot assignment equals full-text dedup
+        // (property-tested), so the counters below are unchanged.
         // Invariant maintained here: hits + misses == snapshots visited.
-        mpa_obs::counters::PARSE_SNAPSHOTS_VISITED.add(texts.len() as u64);
-        mpa_obs::counters::PARSE_CACHE_HITS.add(cache_hits);
-        mpa_obs::counters::PARSE_CACHE_MISSES.add(texts.len() as u64 - cache_hits);
-        let parsed: Vec<Option<ParsedConfig<'_>>> = texts
-            .iter()
-            .enumerate()
-            .map(|(ix, t)| {
-                (canon[ix] == ix).then(|| parse_config(t, device.dialect()).ok()).flatten()
-            })
+        let canon = replay.canon();
+        let n_distinct = replay.n_distinct() as u64;
+        mpa_obs::counters::PARSE_SNAPSHOTS_VISITED.add(canon.len() as u64);
+        mpa_obs::counters::PARSE_CACHE_HITS.add(canon.len() as u64 - n_distinct);
+        mpa_obs::counters::PARSE_CACHE_MISSES.add(n_distinct);
+        let parsed: Vec<Option<ParsedConfig<'_>>> = (0..replay.n_distinct())
+            .map(|slot| parse_config(replay.text(slot), device.dialect()).ok())
             .collect();
         let parsed_at = |ix: usize| parsed[canon[ix]].as_ref();
 

@@ -63,6 +63,20 @@ pub static ARCHIVE_LINES_INTERNED: Counter = Counter::new("archive_lines_interne
 pub static ARCHIVE_LINE_HITS: Counter = Counter::new("archive_line_hits");
 /// Bytes of config text (line + newline) not stored thanks to interning.
 pub static ARCHIVE_BYTES_SAVED: Counter = Counter::new("archive_bytes_saved");
+/// Distinct snapshot states materialized by the dedup-before-materialize
+/// replay path (`device_distinct_texts`); duplicates (reverts to an
+/// earlier state) are detected on the interned line-id sequences and
+/// never rendered to text.
+pub static ARCHIVE_SNAPSHOTS_MATERIALIZED: Counter =
+    Counter::new("archive_snapshots_materialized");
+/// Bytes of snapshot text actually rendered by the replay path (distinct
+/// states only). Compare against `total_bytes` for the materialization
+/// saving.
+pub static ARCHIVE_BYTES_MATERIALIZED: Counter = Counter::new("archive_bytes_materialized");
+/// Line ids rewritten from shard-local to global ids during the sharded
+/// archive merge (`SnapshotArchive::merge_all`, phase 2).
+pub static ARCHIVE_MERGE_REMAPPED_LINES: Counter =
+    Counter::new("archive_merge_remapped_lines");
 
 // --- inference parse cache (incremented by mpa-metrics) ------------------
 
@@ -104,6 +118,9 @@ pub static ALL: &[&Counter] = &[
     &ARCHIVE_LINES_INTERNED,
     &ARCHIVE_LINE_HITS,
     &ARCHIVE_BYTES_SAVED,
+    &ARCHIVE_SNAPSHOTS_MATERIALIZED,
+    &ARCHIVE_BYTES_MATERIALIZED,
+    &ARCHIVE_MERGE_REMAPPED_LINES,
     &PARSE_SNAPSHOTS_VISITED,
     &PARSE_CACHE_HITS,
     &PARSE_CACHE_MISSES,

@@ -9,7 +9,7 @@ use crate::health::HealthModel;
 use crate::netgen::generate_network;
 use crate::ops::{simulate_network, SimConfig};
 use crate::profile::{sample_profiles, OrgConfig};
-use mpa_config::{Archive, UserDirectory};
+use mpa_config::{SnapshotArchive, UserDirectory};
 use mpa_model::{Inventory, InventoryRecord, Month, StudyPeriod, TicketId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -143,23 +143,33 @@ impl Scenario {
                 &mut local_ticket_seq,
                 &mut rng,
             );
-            (gen, out)
+            // Inventory rows (site strings are pure functions of the ids)
+            // are built here, on the workers, so the merge pass below is
+            // pure bookkeeping; dropping `gen.configs` on the worker also
+            // releases each network's semantic state as soon as it is done.
+            let records: Vec<InventoryRecord> = gen
+                .network
+                .devices
+                .iter()
+                .map(|d| {
+                    let site = format!("dc{}/r{}", d.network.0 % 8, d.id.0 % 40);
+                    InventoryRecord::from_device(d, site)
+                })
+                .collect();
+            (gen.network, records, out)
         });
 
         let mut ticket_seq = 0u32;
         let mut networks = Vec::with_capacity(profiles.len());
         let mut inventory_records = Vec::new();
-        let mut archive = Archive::new();
+        let mut archives = Vec::with_capacity(profiles.len());
         let mut tickets = Vec::new();
         let mut coverage = std::collections::BTreeSet::new();
         let mut ground_truth = Vec::new();
 
-        for (gen, out) in per_network {
-            for d in &gen.network.devices {
-                let site = format!("dc{}/r{}", d.network.0 % 8, d.id.0 % 40);
-                inventory_records.push(InventoryRecord::from_device(d, site));
-            }
-            archive.merge(out.archive);
+        for (network, records, out) in per_network {
+            inventory_records.extend(records);
+            archives.push(out.archive);
             // Re-key the per-network ticket sequences into one dense
             // org-wide sequence (ids are referenced nowhere else).
             tickets.extend(out.tickets.into_iter().map(|mut t| {
@@ -173,8 +183,14 @@ impl Scenario {
                 }
             }
             ground_truth.extend(out.truth);
-            networks.push(gen.network);
+            networks.push(network);
         }
+
+        // Two-phase sharded merge: the global line table is built once from
+        // the per-network unique-line sets, then every network's line ids
+        // are remapped to global ids on the worker threads — byte-identical
+        // to folding `merge` sequentially (see DESIGN.md §10).
+        let archive = SnapshotArchive::merge_all(archives);
 
         let directory =
             UserDirectory::new(["svc-netauto".to_string(), "svc-deploy".to_string()]);
