@@ -65,10 +65,11 @@ fn main() {
     if let Some(path) = &bench_out {
         let threads = mpa_exec::threads();
         let counts: Vec<usize> = if threads > 1 { vec![1, threads] } else { vec![1] };
+        // mpa-lint: allow(R4) -- startup banner reports the host's core count on stderr; no artifact contains it
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         eprintln!(
             "[mpa] pipeline bench: scale {scale:?}, thread counts {counts:?} \
-             ({} cores available)",
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+             ({host_cores} cores available)"
         );
         let bench = mpa_bench::run_pipeline_bench(&scale.scenario(), &counts);
         let json = serde_json::to_string(&bench).expect("bench serializes");

@@ -171,6 +171,7 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
         let distinct = c.get("parse_cache_misses").copied().unwrap_or(0);
         if visited > 0 { distinct as f64 / visited as f64 } else { 1.0 }
     };
+    // mpa-lint: allow(R4) -- host core count is bench-artifact metadata (available_cores); it never reaches pipeline output
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
     PipelineBench {

@@ -279,7 +279,7 @@ fn compare_bins(
         .map(|c| c * mpa_stats::variance(&all_logits).sqrt())
         .unwrap_or(f64::INFINITY);
 
-    u_kept.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    u_kept.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut diffs: Vec<i64> = Vec::with_capacity(t_kept.len());
     let mut used_untreated: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
     for &(ts, ti) in &t_kept {
@@ -289,9 +289,7 @@ fn compare_bins(
             .iter()
             .flatten()
             .map(|&c| u_kept[c])
-            .min_by(|a, b| {
-                (a.0 - ts).abs().partial_cmp(&(b.0 - ts).abs()).expect("finite")
-            })
+            .min_by(|a, b| (a.0 - ts).abs().total_cmp(&(b.0 - ts).abs()))
         else {
             continue;
         };

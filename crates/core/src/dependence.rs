@@ -86,7 +86,7 @@ pub fn mi_ranking(table: &CaseTable, min_cases_per_month: usize) -> Vec<MiEntry>
             let n_months = month_cases.len();
             MiEntry { metric, mi: if n_months > 0 { total / n_months as f64 } else { 0.0 } }
         });
-    entries.sort_by(|a, b| b.mi.partial_cmp(&a.mi).expect("finite MI"));
+    entries.sort_by(|a, b| b.mi.total_cmp(&a.mi));
     entries
 }
 
@@ -109,7 +109,7 @@ pub fn cmi_ranking(table: &CaseTable) -> Vec<CmiEntry> {
         let cmi = conditional_mutual_information(&binned_cols[i], &binned_cols[j], &ys);
         CmiEntry { a: Metric::ALL[i], b: Metric::ALL[j], cmi }
     });
-    entries.sort_by(|a, b| b.cmi.partial_cmp(&a.cmi).expect("finite CMI"));
+    entries.sort_by(|a, b| b.cmi.total_cmp(&a.cmi));
     entries
 }
 

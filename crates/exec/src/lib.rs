@@ -56,6 +56,7 @@ fn resolve_threads() -> usize {
         return requested;
     }
     let env = ENV_THREADS.get_or_init(|| {
+        // mpa-lint: allow(R6) -- MPA_THREADS is the documented thread-count override, read once before any pipeline work; it sets how results are computed, never what they are
         std::env::var("MPA_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
     });
     if let Some(n) = *env {

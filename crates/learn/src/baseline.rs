@@ -22,7 +22,7 @@ impl MajorityClassifier {
         let label = w
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty")
             .0 as u8;
         Self { label }

@@ -159,7 +159,7 @@ impl Classifier for AdaBoost {
                 votes
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .expect("non-empty")
                     .0 as u8
             }

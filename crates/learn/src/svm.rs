@@ -105,9 +105,7 @@ impl Classifier for LinearSvm {
     fn predict(&self, features: &[u8]) -> u8 {
         (0..self.weights.len())
             .max_by(|&a, &b| {
-                self.margin(a, features)
-                    .partial_cmp(&self.margin(b, features))
-                    .expect("finite margins")
+                self.margin(a, features).total_cmp(&self.margin(b, features))
             })
             .expect("at least one class") as u8
     }

@@ -165,7 +165,7 @@ fn majority(set: &LearnSet, indices: &[usize]) -> u8 {
     }
     w.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+        .max_by(|a, b| a.1.total_cmp(b.1))
         .expect("at least one class")
         .0 as u8
 }
@@ -248,7 +248,7 @@ fn build(set: &LearnSet, indices: &[usize], min_weight: f64, depth_left: usize) 
     // Best feature by gain ratio.
     let best = (0..set.n_features())
         .filter_map(|f| gain_ratio(set, indices, f).map(|g| (f, g)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gain"));
+        .max_by(|a, b| a.1.total_cmp(&b.1));
     let Some((feature, _)) = best else {
         return Node::Leaf { label: maj };
     };

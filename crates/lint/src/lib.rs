@@ -1,0 +1,28 @@
+//! `mpa-lint`: a static-analysis pass enforcing the workspace's
+//! determinism & correctness contract.
+//!
+//! The golden-file and thread-invariance suites can only *spot-check* the
+//! contract dynamically — every phase byte-identical across `--threads
+//! 1/2/8` and across runs. This crate checks it at the source level: a
+//! std-only line/token scanner (in the spirit of `mpa-obs`: no external
+//! dependencies, no `unsafe`) walks `src/` and every `crates/*/src/` tree
+//! and matches six rules — float total order (R1), hash iteration order
+//! (R2), wall clocks (R3), thread identity (R4), `unsafe` placement (R5)
+//! and environment reads (R6). See [`Rule`] for the catalog, and
+//! DESIGN.md §11 for the contract, the rationale and the waiver policy.
+//!
+//! The pass ships three ways so it cannot rot:
+//! - `cargo run -p mpa-lint` — the binary; exit 0 only with zero
+//!   non-waived findings, `--json FILE` writes the machine-readable report;
+//! - the `workspace_clean` integration test, which runs the same scan
+//!   under plain `cargo test` (tier-1);
+//! - the CI `lint` job, which uploads `lint_report.json` as an artifact so
+//!   rule-hit and waiver counts are trackable across PRs.
+
+mod report;
+mod rules;
+mod scan;
+
+pub use report::{Finding, Report};
+pub use rules::Rule;
+pub use scan::{scan_source, scan_workspace, FileScan};

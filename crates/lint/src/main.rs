@@ -1,0 +1,76 @@
+//! The `mpa-lint` binary: scan the workspace, print findings, optionally
+//! write the JSON report, and exit non-zero on any non-waived finding.
+//!
+//! ```text
+//! mpa-lint [--root DIR] [--json FILE] [--quiet]
+//! ```
+//!
+//! With no `--root`, the workspace containing this crate is scanned (so
+//! `cargo run -p mpa-lint` works from any directory inside the repo).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage(program: &str) -> String {
+    format!("usage: {program} [--root DIR] [--json FILE] [--quiet]")
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let program = args.next().unwrap_or_else(|| "mpa-lint".to_string());
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("{program}: --root needs a directory\n{}", usage(&program));
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("{program}: --json needs a file path\n{}", usage(&program));
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("{}", usage(&program));
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("{program}: unknown argument `{other}`\n{}", usage(&program));
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Two levels up from this crate's manifest dir is the workspace root.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+    });
+    let report = match mpa_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{program}: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("{program}: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.strict_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,10 @@
+use std::collections::BTreeMap;
+
+fn render(by_name: &BTreeMap<String, u64>, out: &mut String) {
+    for (name, value) in by_name {
+        out.push_str(name);
+        out.push_str(&value.to_string());
+    }
+    let mut xs = [0.25_f64, 0.5];
+    xs.sort_by(|a, b| a.total_cmp(b));
+}

@@ -1,0 +1,4 @@
+fn sort_scores(xs: &mut [f64]) {
+    // mpa-lint: allow(R1) -- fixture: inputs are finite probabilities by construction
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

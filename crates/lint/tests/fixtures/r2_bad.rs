@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+
+fn render(by_name: &HashMap<String, u64>, out: &mut String) {
+    for (name, value) in by_name.iter() {
+        out.push_str(name);
+        out.push_str(&value.to_string());
+    }
+}

@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+
+fn total(by_name: &HashMap<String, u64>) -> u64 {
+    // mpa-lint: allow(R2) -- fixture: order-insensitive integer sum over values
+    by_name.values().sum()
+}

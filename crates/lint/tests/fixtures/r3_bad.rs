@@ -1,0 +1,3 @@
+fn phase_start() -> std::time::Instant {
+    std::time::Instant::now()
+}

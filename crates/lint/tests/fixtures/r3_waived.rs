@@ -1,0 +1,4 @@
+fn phase_start() -> std::time::Instant {
+    // mpa-lint: allow(R3) -- fixture: timing is observed only, never folded into results
+    std::time::Instant::now()
+}

@@ -1,0 +1,3 @@
+fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

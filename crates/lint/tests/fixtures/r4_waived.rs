@@ -1,0 +1,4 @@
+fn worker_tag() -> String {
+    // mpa-lint: allow(R4) -- fixture: diagnostic label, never part of pipeline output
+    format!("{:?}", std::thread::current().id())
+}

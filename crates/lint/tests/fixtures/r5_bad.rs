@@ -1,0 +1,3 @@
+fn first_unchecked(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,4 @@
+fn first_unchecked(xs: &[u8]) -> u8 {
+    // mpa-lint: allow(R5) -- fixture: bounds proven by the caller's invariant
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,3 @@
+fn override_from_env() -> Option<String> {
+    std::env::var("MPA_FIXTURE").ok()
+}

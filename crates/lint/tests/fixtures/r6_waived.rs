@@ -1,0 +1,4 @@
+fn override_from_env() -> Option<String> {
+    // mpa-lint: allow(R6) -- fixture: read once at startup before any pipeline work
+    std::env::var("MPA_FIXTURE").ok()
+}

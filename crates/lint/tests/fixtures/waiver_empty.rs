@@ -1,0 +1,4 @@
+fn phase_start() -> std::time::Instant {
+    // mpa-lint: allow(R3) --
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+// mpa-lint: allow(R5) -- fixture: nothing below actually needs this
+fn five() -> u32 {
+    5
+}

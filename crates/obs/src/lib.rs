@@ -32,7 +32,7 @@
 
 pub mod counters;
 pub mod gauges;
-mod json;
+pub mod json;
 mod report;
 pub mod sched;
 mod span;

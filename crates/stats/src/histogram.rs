@@ -20,7 +20,7 @@ impl Ecdf {
     /// Panics if the sample contains NaN.
     pub fn new(mut values: Vec<f64>) -> Self {
         assert!(values.iter().all(|v| !v.is_nan()), "ECDF input must be NaN-free");
-        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN-free"));
+        values.sort_by(|a, b| a.total_cmp(b));
         Self { sorted: values }
     }
 

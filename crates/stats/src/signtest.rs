@@ -92,7 +92,7 @@ fn binom_sf_half(n: u64, k: u64) -> f64 {
     // Sum from the largest term down for numerical stability; use
     // log-sum-exp anchored at the first (largest within the tail) term.
     let mut terms: Vec<f64> = (k..=n).map(|i| ln_choose(n, i) + ln_half_n).collect();
-    terms.sort_by(|a, b| b.partial_cmp(a).expect("finite log terms"));
+    terms.sort_by(|a, b| b.total_cmp(a));
     let anchor = terms[0];
     let sum: f64 = terms.iter().map(|t| (t - anchor).exp()).sum();
     (anchor + sum.ln()).exp()

@@ -34,13 +34,17 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Percentile with linear interpolation between order statistics
 /// (R type-7 / NumPy default). `p` is in `[0, 100]`.
 ///
+/// Sorting uses the IEEE total order ([`f64::total_cmp`]), so NaN input
+/// does not panic: NaN sorts after `+∞` and surfaces only in the top
+/// percentiles instead of aborting a pipeline phase mid-run.
+///
 /// # Panics
 /// Panics if `xs` is empty or `p` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile {p} outside [0, 100]");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     percentile_sorted(&sorted, p)
 }
 
@@ -86,27 +90,32 @@ pub struct BoxStats {
 
 impl BoxStats {
     /// Compute box statistics. Returns `None` for an empty slice.
+    ///
+    /// NaN input does not panic: values sort in IEEE total order (NaN
+    /// last), and if NaN reaches a quartile the affected whisker bound
+    /// becomes NaN, which disables that side's outlier clipping rather
+    /// than aborting the caller.
     pub fn compute(xs: &[f64]) -> Option<Self> {
         if xs.is_empty() {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in box-stat input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let q1 = percentile_sorted(&sorted, 25.0);
         let med = percentile_sorted(&sorted, 50.0);
         let q3 = percentile_sorted(&sorted, 75.0);
         let iqr = q3 - q1;
         let lo_bound = q1 - 2.0 * iqr;
         let hi_bound = q3 + 2.0 * iqr;
-        let whisker_lo = *sorted
-            .iter()
-            .find(|&&x| x >= lo_bound)
-            .expect("at least the median is within bounds");
-        let whisker_hi = *sorted
+        // A NaN bound compares false against everything; fall back to the
+        // unclipped extreme instead of panicking on the find.
+        let whisker_lo = sorted.iter().copied().find(|&x| x >= lo_bound).unwrap_or(sorted[0]);
+        let whisker_hi = sorted
             .iter()
             .rev()
-            .find(|&&x| x <= hi_bound)
-            .expect("at least the median is within bounds");
+            .copied()
+            .find(|&x| x <= hi_bound)
+            .unwrap_or(sorted[sorted.len() - 1]);
         Some(Self { n: sorted.len(), q1, median: med, q3, whisker_lo, whisker_hi, mean: mean(xs) })
     }
 }
@@ -167,6 +176,35 @@ mod tests {
         let b = BoxStats::compute(&xs).unwrap();
         assert!(b.whisker_hi < 10_000.0);
         assert!(b.mean > b.median, "mean is pulled up by the outlier");
+    }
+
+    #[test]
+    fn nan_input_no_longer_panics() {
+        // Regression for the determinism contract's R1 fix: these paths
+        // used to `expect` on `partial_cmp` and abort on the first NaN.
+        let xs = [3.0, f64::NAN, 1.0];
+        // NaN sorts last under the IEEE total order: [1.0, 3.0, NaN].
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert!(percentile(&xs, 100.0).is_nan());
+        let b = BoxStats::compute(&xs).expect("non-empty");
+        assert_eq!(b.n, 3);
+        assert_eq!(b.median, 3.0);
+        // q3 interpolates into the NaN tail; the high whisker degrades to
+        // the unclipped extreme instead of panicking.
+        assert!(b.q3.is_nan());
+        assert_eq!(b.whisker_lo, 1.0);
+        assert!(b.whisker_hi.is_nan());
+    }
+
+    #[test]
+    fn nan_free_input_is_unaffected_by_total_order_sort() {
+        // total_cmp and partial_cmp agree on NaN-free data, so the golden
+        // outputs cannot move. Spot-check a mixed-sign sample.
+        let xs = [0.5, -1.0, 2.5, 0.0, -0.25];
+        assert_eq!(percentile(&xs, 50.0), 0.0);
+        let b = BoxStats::compute(&xs).unwrap();
+        assert_eq!((b.whisker_lo, b.whisker_hi), (-1.0, 2.5));
     }
 
     #[test]

@@ -565,7 +565,7 @@ mod tests {
         // Pick a profile with decent activity so the test is meaningful.
         let profile = profiles
             .iter()
-            .max_by(|a, b| a.activity.partial_cmp(&b.activity).unwrap())
+            .max_by(|a, b| a.activity.total_cmp(&b.activity))
             .unwrap()
             .clone();
         let mut next_id = 0u32;

@@ -373,7 +373,7 @@ mod tests {
     fn size_distribution_is_heavy_tailed() {
         let ps = profiles();
         let mut sizes: Vec<f64> = ps.iter().map(|p| p.n_devices as f64).collect();
-        sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sizes.sort_by(|a, b| a.total_cmp(b));
         let median = sizes[sizes.len() / 2];
         assert!((6.0..20.0).contains(&median), "median size {median}");
         assert!(*sizes.last().unwrap() > 100.0, "tail exists");
@@ -387,7 +387,7 @@ mod tests {
     fn activity_percentiles_match_fig12e() {
         let ps = profiles();
         let mut acts: Vec<f64> = ps.iter().map(|p| p.activity).collect();
-        acts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        acts.sort_by(|a, b| a.total_cmp(b));
         let p10 = acts[acts.len() / 10];
         let p90 = acts[acts.len() * 9 / 10];
         // Paper: 10th percentile ≈ 3 events, 90th ≈ 34.
