@@ -6,13 +6,40 @@
 //! ```
 //!
 //! With no `--root`, the workspace containing this crate is scanned (so
-//! `cargo run -p mpa-lint` works from any directory inside the repo).
+//! `cargo run -p mpa-lint` works from any directory inside the repo); a
+//! relocated binary falls back to the enclosing workspace of the current
+//! directory.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage(program: &str) -> String {
     format!("usage: {program} [--root DIR] [--json FILE] [--quiet]")
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|t| t.contains("[workspace]"))
+}
+
+/// The workspace to scan when `--root` is absent: the compile-time
+/// location of this crate's workspace when it still exists (the usual
+/// `cargo run -p mpa-lint` case), otherwise — for a relocated or
+/// CI-cache-restored binary — the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares a workspace.
+fn default_root() -> Option<PathBuf> {
+    let baked = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    if is_workspace_root(&baked) {
+        return Some(baked);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -48,10 +75,10 @@ fn main() -> ExitCode {
             }
         }
     }
-    // Two levels up from this crate's manifest dir is the workspace root.
-    let root = root.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
-    });
+    let Some(root) = root.or_else(default_root) else {
+        eprintln!("{program}: no workspace found; pass --root DIR");
+        return ExitCode::from(2);
+    };
     let report = match mpa_lint::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {

@@ -23,10 +23,12 @@
 //! justification is mandatory and must be non-empty: a waiver without one
 //! is *rejected* (pseudo-rule `W1`) and suppresses nothing, and a waiver
 //! that suppresses no finding is itself flagged (`W2`) so stale waivers
-//! cannot accumulate. Waivers are parsed from the raw (unsanitized) line,
-//! since they live in comments — but only in plain `//` comments: doc
-//! comments (`///`, `//!`) are documentation and never waive anything,
-//! which is also what lets this very paragraph show the syntax.
+//! cannot accumulate. Waivers are parsed only from the trailing `//`
+//! line-comment portion of a line (as located by the sanitizer), so the
+//! marker inside a string literal is just data — and only in plain `//`
+//! comments: doc comments (`///`, `//!`) are documentation and never
+//! waive anything, which is also what lets this very paragraph show the
+//! syntax.
 
 use crate::report::{Finding, Report};
 use crate::rules::{contains_word, find_word_from, is_ident_byte, Rule};
@@ -60,10 +62,14 @@ enum Strip {
 
 /// Blank out comments and literals from one line, advancing the cross-line
 /// lexer state. Stripped characters become spaces so that byte positions
-/// within the line are preserved for the matchers.
-fn sanitize_line(state: &mut Strip, line: &str) -> String {
+/// within the line are preserved for the matchers. The second element is
+/// the byte offset of a trailing `//` line comment, when the line has one
+/// in code position (not inside a literal or block comment) — the only
+/// place a waiver may live.
+fn sanitize_line(state: &mut Strip, line: &str) -> (String, Option<usize>) {
     let chars: Vec<char> = line.chars().collect();
     let mut out = String::with_capacity(line.len());
+    let mut comment_start = None;
     let mut i = 0;
     while i < chars.len() {
         match state {
@@ -113,7 +119,10 @@ fn sanitize_line(state: &mut Strip, line: &str) -> String {
             Strip::Code => {
                 let c = chars[i];
                 if c == '/' && chars.get(i + 1) == Some(&'/') {
-                    // Line comment: the rest of the line is invisible.
+                    // Line comment: the rest of the line is invisible to
+                    // the rules, but its byte offset is where the waiver
+                    // parser is allowed to look.
+                    comment_start = Some(chars[..i].iter().map(|c| c.len_utf8()).sum());
                     break;
                 }
                 if c == '/' && chars.get(i + 1) == Some(&'*') {
@@ -186,7 +195,7 @@ fn sanitize_line(state: &mut Strip, line: &str) -> String {
             }
         }
     }
-    out
+    (out, comment_start)
 }
 
 // --- waivers -------------------------------------------------------------
@@ -206,13 +215,15 @@ struct Waiver {
     used: bool,
 }
 
-fn parse_waiver(line_no: usize, raw: &str) -> Option<Waiver> {
-    let lead = raw.trim_start();
-    if lead.starts_with("///") || lead.starts_with("//!") {
+/// Parse a waiver from the trailing `//` comment of a line. `comment` is
+/// the raw text from the `//` onward, as located by the sanitizer — so a
+/// marker inside a string literal or block comment never reaches here.
+fn parse_waiver(line_no: usize, comment: &str) -> Option<Waiver> {
+    if comment.starts_with("///") || comment.starts_with("//!") {
         return None;
     }
-    let start = raw.find(MARKER)?;
-    let rest = &raw[start + MARKER.len()..];
+    let start = comment.find(MARKER)?;
+    let rest = &comment[start + MARKER.len()..];
     let mut w = Waiver {
         line: line_no,
         rules: Vec::new(),
@@ -321,7 +332,8 @@ fn iterates_hash(line: &str, name: &str) -> bool {
             from = pos + 1;
         }
     }
-    // `for … in [&[mut ]]name` with nothing chained after the identifier.
+    // `for … in [&[mut ]]name` with nothing chained after the identifier,
+    // or the same with a field-access operand (`for … in &s.name`).
     let mut from = 0;
     while let Some(pos) = find_word_from(line, "in", from) {
         from = pos + 2;
@@ -330,6 +342,21 @@ fn iterates_hash(line: &str, name: &str) -> bool {
         if let Some(rest) = operand.strip_prefix(name) {
             let next = rest.bytes().next();
             if !matches!(next, Some(b) if is_ident_byte(b) || b == b'.') {
+                return true;
+            }
+        }
+        let ob = operand.as_bytes();
+        let mut p = 0;
+        while let Some(at) = operand.get(p..).and_then(|h| h.find(name)).map(|q| q + p) {
+            p = at + 1;
+            let next = ob.get(at + name.len()).copied();
+            // `.name` not followed by more of the expression: a bare field
+            // bound to a hash container (a call `.name(` is a method, and
+            // `.name.`/`.name_x` continue past the field).
+            if at > 0
+                && ob[at - 1] == b'.'
+                && !matches!(next, Some(b) if is_ident_byte(b) || b == b'.' || b == b'(')
+            {
                 return true;
             }
         }
@@ -405,10 +432,15 @@ fn excerpt_of(raw: &str) -> String {
 pub fn scan_source(rel_path: &str, text: &str) -> FileScan {
     let raw: Vec<&str> = text.lines().collect();
     let mut state = Strip::Code;
-    let code: Vec<String> = raw.iter().map(|l| sanitize_line(&mut state, l)).collect();
-
-    let mut waivers: Vec<Waiver> =
-        raw.iter().enumerate().filter_map(|(ix, l)| parse_waiver(ix + 1, l)).collect();
+    let mut code = Vec::with_capacity(raw.len());
+    let mut waivers: Vec<Waiver> = Vec::new();
+    for (ix, l) in raw.iter().enumerate() {
+        let (sanitized, comment_start) = sanitize_line(&mut state, l);
+        code.push(sanitized);
+        if let Some(w) = comment_start.and_then(|at| parse_waiver(ix + 1, &l[at..])) {
+            waivers.push(w);
+        }
+    }
 
     let mut findings = Vec::new();
     for (rule, line_no) in detect(rel_path, &code) {
@@ -512,7 +544,7 @@ mod tests {
 
     fn sanitize_all(text: &str) -> Vec<String> {
         let mut state = Strip::Code;
-        text.lines().map(|l| sanitize_line(&mut state, l)).collect()
+        text.lines().map(|l| sanitize_line(&mut state, l).0).collect()
     }
 
     #[test]
@@ -609,6 +641,33 @@ mod tests {
         let unwaived: Vec<_> = scan.findings.iter().filter(|f| !f.waived).collect();
         assert!(unwaived.is_empty(), "{unwaived:?}");
         assert_eq!(scan.findings.len(), 2);
+    }
+
+    #[test]
+    fn marker_in_string_literal_is_not_a_waiver() {
+        // The marker as string data must neither suppress a finding on the
+        // next line nor be flagged as an unused (W2) waiver.
+        let text = format!(
+            "let msg = \"{MARKER}R3) -- just data\";\n\
+             let t = Instant::now();\n"
+        );
+        let scan = scan_source("crates/x/src/lib.rs", &text);
+        assert_eq!(scan.findings.len(), 1, "{:?}", scan.findings);
+        let f = &scan.findings[0];
+        assert_eq!((f.rule.as_str(), f.line, f.waived), ("R3", 2, false));
+    }
+
+    #[test]
+    fn for_loop_over_hash_field_fires() {
+        let text = "struct S { index: HashMap<String, u32> }\n\
+                    fn f(s: &S) {\n\
+                    for (k, v) in &s.index {\n\
+                    g(k, v);\n\
+                    }\n\
+                    }";
+        let scan = scan_source("crates/x/src/lib.rs", text);
+        assert_eq!(scan.findings.len(), 1, "{:?}", scan.findings);
+        assert_eq!((scan.findings[0].rule.as_str(), scan.findings[0].line), ("R2", 3));
     }
 
     #[test]

@@ -204,7 +204,10 @@ mod tests {
         let xs = [0.5, -1.0, 2.5, 0.0, -0.25];
         assert_eq!(percentile(&xs, 50.0), 0.0);
         let b = BoxStats::compute(&xs).unwrap();
-        assert_eq!((b.whisker_lo, b.whisker_hi), (-1.0, 2.5));
+        assert_eq!((b.q1, b.q3), (-0.25, 0.5));
+        // IQR = 0.75, hi bound = 2.0: 2.5 is a clipped outlier, so the
+        // high whisker falls back to the next point inside the fence.
+        assert_eq!((b.whisker_lo, b.whisker_hi), (-1.0, 0.5));
     }
 
     #[test]

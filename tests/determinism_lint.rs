@@ -1,0 +1,25 @@
+//! Tier-1 enforcement of the determinism contract: a plain `cargo test -q`
+//! at the workspace root runs the same scan as the `mpa-lint` binary and
+//! fails on any non-waived finding, with the offending file:line in the
+//! message. (CI's `--workspace` run additionally exercises the lint's own
+//! fixture suite under `crates/lint/tests/`.)
+
+#[test]
+fn workspace_has_zero_unwaived_lint_findings() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mpa_lint::scan_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned ({}); wrong root?",
+        report.files_scanned
+    );
+    let violations: Vec<String> = report
+        .violations()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.excerpt))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "determinism-contract violations (fix them or add a justified waiver):\n{}",
+        violations.join("\n")
+    );
+}
