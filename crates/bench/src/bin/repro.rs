@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|medium|paper] [--threads N] [--out DIR] \
-//!       [--bench-out FILE] <experiment>... | all | calibrate
+//!       [--bench-out FILE] [--infer-mode delta|full] <experiment>... | all | calibrate
 //! ```
 //!
 //! Experiment ids are the paper's table/figure numbers (`table3`, `fig8`,
@@ -20,6 +20,7 @@
 
 use mpa_bench::experiments;
 use mpa_bench::fixtures::{by_scale, FixtureScale};
+use mpa_metrics::InferMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,10 +28,18 @@ fn main() {
     let mut out_dir: Option<String> = None;
     let mut bench_out: Option<String> = None;
     let mut obs_out: Option<String> = None;
+    let mut infer_mode = InferMode::default();
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--infer-mode" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                infer_mode = InferMode::parse(v).unwrap_or_else(|| {
+                    eprintln!("--infer-mode must be \"delta\" or \"full\", got {v:?}");
+                    std::process::exit(2);
+                });
+            }
             "--scale" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 scale = match v {
@@ -69,9 +78,11 @@ fn main() {
         let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         eprintln!(
             "[mpa] pipeline bench: scale {scale:?}, thread counts {counts:?} \
-             ({host_cores} cores available)"
+             ({host_cores} cores available), infer mode {}",
+            infer_mode.label()
         );
-        let bench = mpa_bench::run_pipeline_bench(&scale.scenario(), &counts);
+        let bench =
+            mpa_bench::run_pipeline_bench_with_mode(&scale.scenario(), &counts, infer_mode);
         let json = serde_json::to_string(&bench).expect("bench serializes");
         std::fs::write(path, &json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
@@ -95,15 +106,31 @@ fn main() {
              (materialized + parsed once each)",
             bench.snapshot_dedup_ratio * 100.0
         );
-        eprintln!(
-            "[mpa]   speedup {:.2}x total (generate {:.2}x, infer {:.2}x, mi {:.2}x), \
-             deterministic: {} -> wrote {path}",
-            bench.speedup,
-            bench.generate_speedup,
-            bench.infer_speedup,
-            bench.mi_ranking_speedup,
-            bench.deterministic
-        );
+        // A speedup figure is only honest when the widest run actually
+        // achieved concurrency. On a one-core or oversubscribed host the
+        // measured occupancy sits near 1 however many workers were
+        // spawned, and "0.97x speedup" would read as a regression — so
+        // refuse to print one and say why instead.
+        let widest = bench.runs.last().expect("at least one run");
+        if widest.threads > 1 && widest.effective_parallelism < 1.25 {
+            eprintln!(
+                "[mpa]   speedup not reported: the {}-thread run achieved effective \
+                 parallelism {:.2} (workers were time-sliced, not concurrent); \
+                 deterministic: {} -> wrote {path}",
+                widest.threads, widest.effective_parallelism, bench.deterministic
+            );
+        } else {
+            eprintln!(
+                "[mpa]   speedup {:.2}x total (generate {:.2}x, infer {:.2}x, mi {:.2}x, \
+                 effective parallelism {:.2}), deterministic: {} -> wrote {path}",
+                bench.speedup,
+                bench.generate_speedup,
+                bench.infer_speedup,
+                bench.mi_ranking_speedup,
+                widest.effective_parallelism,
+                bench.deterministic
+            );
+        }
         if targets.is_empty() {
             write_obs_report(obs_out.as_deref());
             return;
@@ -112,7 +139,8 @@ fn main() {
     if targets.is_empty() {
         eprintln!(
             "usage: repro [--scale tiny|small|medium|paper] [--threads N] [--out DIR] \
-             [--bench-out FILE] [--obs-out FILE] <experiment>...|all|calibrate"
+             [--bench-out FILE] [--obs-out FILE] [--infer-mode delta|full] \
+             <experiment>...|all|calibrate"
         );
         eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);

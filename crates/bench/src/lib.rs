@@ -14,4 +14,6 @@ pub mod fixtures;
 pub mod pipeline_bench;
 
 pub use fixtures::{Fixture, FixtureScale};
-pub use pipeline_bench::{run_pipeline_bench, PipelineBench, PipelineRun};
+pub use pipeline_bench::{
+    run_pipeline_bench, run_pipeline_bench_with_mode, PipelineBench, PipelineRun,
+};

@@ -6,7 +6,7 @@
 //! (the engine's core guarantee). `repro --bench-out FILE` writes the
 //! result as `BENCH_pipeline.json`.
 
-use mpa_metrics::pipeline::infer;
+use mpa_metrics::pipeline::{infer_with_mode, InferMode};
 use mpa_metrics::DELTA_DEFAULT_MINUTES;
 use mpa_synth::Scenario;
 use serde::Serialize;
@@ -30,6 +30,12 @@ pub struct PipelineRun {
     /// high-water mark is monotone across a process's life, so the first
     /// run's figure is the meaningful per-configuration peak.
     pub peak_rss_mib: f64,
+    /// Measured effective parallelism of this run: summed worker CPU time
+    /// over region wall time across every region that fanned out (see
+    /// `mpa_obs::sched`). Near 1.0 the configured thread count bought
+    /// nothing — a one-core or oversubscribed host — which is what
+    /// distinguishes "no speedup available" from a scaling regression.
+    pub effective_parallelism: f64,
     /// Observability counter deltas attributed to this run (work counted
     /// between the run's start and end; see `mpa_obs::counters`). Counters
     /// are thread-invariant, so these figures should match across the runs
@@ -54,6 +60,8 @@ pub struct PipelineBench {
     pub archive_total_bytes: usize,
     /// Bytes held by the delta-encoded representation (line table + ids).
     pub archive_text_bytes: usize,
+    /// Which inference engine the runs used (`"delta"` or `"full"`).
+    pub infer_mode: String,
     /// One entry per benchmarked thread count.
     pub runs: Vec<PipelineRun>,
     /// Total-time speedup of the best run over the 1-thread run.
@@ -89,11 +97,22 @@ pub fn peak_rss_bytes() -> usize {
         .map_or(0, |kib| kib * 1024)
 }
 
-/// Run the pipeline at each thread count and compare outputs.
+/// Run the pipeline at each thread count with the default (delta-native)
+/// inference engine and compare outputs.
 ///
 /// The first entry of `thread_counts` is the baseline for the speedup
 /// figure; pass `[1, n]` for the canonical sequential-vs-parallel number.
 pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> PipelineBench {
+    run_pipeline_bench_with_mode(scenario, thread_counts, InferMode::default())
+}
+
+/// Run the pipeline at each thread count with an explicit inference
+/// engine; see [`run_pipeline_bench`].
+pub fn run_pipeline_bench_with_mode(
+    scenario: &Scenario,
+    thread_counts: &[usize],
+    mode: InferMode,
+) -> PipelineBench {
     assert!(!thread_counts.is_empty(), "need at least one thread count");
     let saved = mpa_exec::threads();
     let mut runs = Vec::with_capacity(thread_counts.len());
@@ -105,6 +124,7 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
     for &threads in thread_counts {
         mpa_exec::set_threads(threads);
         let counters_before = mpa_obs::counters::snapshot();
+        let sched_before = mpa_obs::sched::snapshot();
 
         // Each phase is also wrapped in an obs span (free when no collector
         // is installed) so a `repro --bench-out ... --obs-out ...` run
@@ -117,8 +137,9 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
                 let generate_s = t0.elapsed().as_secs_f64();
 
                 let t1 = Instant::now();
-                let inference =
-                    mpa_obs::span("infer", || infer(&dataset, DELTA_DEFAULT_MINUTES));
+                let inference = mpa_obs::span("infer", || {
+                    infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, mode)
+                });
                 let infer_s = t1.elapsed().as_secs_f64();
 
                 let t2 = Instant::now();
@@ -147,6 +168,12 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
             .into_iter()
             .map(|(name, v)| (name.to_string(), v))
             .collect();
+        // Occupancy attributed to this run: the busy/wall deltas over the
+        // regions that ran between the two sched snapshots.
+        let sched_after = mpa_obs::sched::snapshot();
+        let busy = sched_after.region_busy_ns.saturating_sub(sched_before.region_busy_ns);
+        let wall = sched_after.region_wall_ns.saturating_sub(sched_before.region_wall_ns);
+        let effective_parallelism = if wall == 0 { 1.0 } else { busy as f64 / wall as f64 };
 
         runs.push(PipelineRun {
             threads,
@@ -155,6 +182,7 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
             mi_ranking_s,
             total_s: generate_s + infer_s + mi_ranking_s,
             peak_rss_mib: peak_rss_bytes() as f64 / (1024.0 * 1024.0),
+            effective_parallelism,
             counters,
         });
     }
@@ -180,6 +208,7 @@ pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> Pipel
         available_cores: host_cores.max(max_threads),
         archive_total_bytes,
         archive_text_bytes,
+        infer_mode: mode.label().to_string(),
         speedup: phase_speedup(|r| r.total_s),
         generate_speedup: phase_speedup(|r| r.generate_s),
         infer_speedup: phase_speedup(|r| r.infer_s),
@@ -251,6 +280,20 @@ mod tests {
             bench.archive_text_bytes,
             bench.archive_total_bytes
         );
+    }
+
+    #[test]
+    fn infer_mode_and_effective_parallelism_are_recorded() {
+        let bench = run_pipeline_bench_with_mode(&Scenario::tiny(), &[1], InferMode::Full);
+        assert_eq!(bench.infer_mode, "full");
+        assert!(bench.runs[0].effective_parallelism > 0.0);
+        let json = serde_json::to_string(&bench).expect("serializes");
+        assert!(json.contains("infer_mode"), "infer_mode missing from artifact");
+        assert!(
+            json.contains("effective_parallelism"),
+            "effective_parallelism missing from artifact"
+        );
+        assert_eq!(run_pipeline_bench(&Scenario::tiny(), &[1]).infer_mode, "delta");
     }
 
     #[test]

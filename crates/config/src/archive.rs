@@ -39,25 +39,74 @@ impl Deserialize for LineId {
     }
 }
 
-/// Interning table: each distinct config line is stored once.
+/// Fast multiply-mix hash of a line's bytes (FxHash-style), for the
+/// intern index. The hash function cannot affect behavior — collisions
+/// are resolved by exact comparison against the arena, and line ids are
+/// assigned in first-appearance order — so a cheap mix beats SipHash on
+/// the interning hot path (every line of every snapshot passes through).
+fn hash_line(line: &str) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let bytes = line.as_bytes();
+    let mut h = (bytes.len() as u64).wrapping_mul(K);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let v = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+        h = (h.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+    let rem = chunks.remainder();
+    let mut last = [0u8; 8];
+    last[..rem.len()].copy_from_slice(rem);
+    (h.rotate_left(5) ^ u64::from_le_bytes(last)).wrapping_mul(K)
+}
+
+/// Interning table: each distinct config line is stored once, packed into
+/// a single text arena (`text` + byte spans) rather than one `String`
+/// allocation per line — replay touches lines by id in effectively random
+/// order, so keeping them contiguous is worth real wall-clock at paper
+/// scale, and the arena halves the table's footprint versus the old
+/// `Vec<String>` + `HashMap<String, _>` pair that stored every line twice.
 ///
-/// The reverse index is a lookup-only `HashMap` (never iterated), so the
-/// archive's behavior stays deterministic.
+/// The reverse index is a lookup-only `HashMap` (never iterated, hash
+/// collisions resolved by exact compare), so the archive's behavior stays
+/// deterministic.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct LineTable {
-    lines: Vec<String>,
-    index: HashMap<String, u32>,
+    /// All distinct line text, concatenated in id order.
+    text: String,
+    /// Byte range of each line id within `text`.
+    spans: Vec<(u32, u32)>,
+    /// Line-hash → ids with that hash.
+    index: HashMap<u64, Vec<u32>>,
 }
 
 impl LineTable {
+    /// Rebuild from a deserialized line list (lines are distinct by
+    /// construction — they come from a serialized intern table).
     fn from_lines(lines: Vec<String>) -> Self {
-        let index =
-            lines.iter().enumerate().map(|(i, l)| (l.clone(), i as u32)).collect();
-        Self { lines, index }
+        let mut table = Self::default();
+        for line in &lines {
+            table.insert_new(line);
+        }
+        table
+    }
+
+    /// Append a line known to be absent, returning its new id.
+    fn insert_new(&mut self, line: &str) -> LineId {
+        let id = u32::try_from(self.spans.len()).expect("line table overflow");
+        let start = u32::try_from(self.text.len()).expect("line arena overflow");
+        self.text.push_str(line);
+        let end = u32::try_from(self.text.len()).expect("line arena overflow");
+        self.spans.push((start, end));
+        self.index.entry(hash_line(line)).or_default().push(id);
+        LineId(id)
     }
 
     fn intern(&mut self, line: &str) -> LineId {
-        if let Some(&id) = self.index.get(line) {
+        let hit = self
+            .index
+            .get(&hash_line(line))
+            .and_then(|cands| cands.iter().copied().find(|&id| self.get(LineId(id)) == line));
+        if let Some(id) = hit {
             // One line + its newline that the full-text store would have
             // duplicated. `merge` re-interns through this same path, so
             // org-level dedup is counted too.
@@ -66,25 +115,33 @@ impl LineTable {
             return LineId(id);
         }
         mpa_obs::counters::ARCHIVE_LINES_INTERNED.incr();
-        let id = u32::try_from(self.lines.len()).expect("line table overflow");
-        self.lines.push(line.to_string());
-        self.index.insert(line.to_string(), id);
-        LineId(id)
+        self.insert_new(line)
     }
 
     fn get(&self, id: LineId) -> &str {
-        &self.lines[id.0 as usize]
+        let (start, end) = self.spans[id.0 as usize];
+        &self.text[start as usize..end as usize]
+    }
+
+    /// Number of interned lines (ids are dense: `0..len()`).
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// All interned lines, in id order.
+    fn line_strs(&self) -> impl Iterator<Item = &str> {
+        self.spans.iter().map(|&(start, end)| &self.text[start as usize..end as usize])
     }
 
     /// Bytes of distinct line text held by the table.
     fn content_bytes(&self) -> usize {
-        self.lines.iter().map(String::len).sum()
+        self.text.len()
     }
 }
 
 impl Serialize for LineTable {
     fn to_value(&self) -> Value {
-        self.lines.to_value()
+        self.line_strs().map(str::to_string).collect::<Vec<String>>().to_value()
     }
 }
 
@@ -149,15 +206,64 @@ impl LineDelta {
     pub fn is_empty(&self) -> bool {
         self.removed.is_empty() && self.added.is_empty()
     }
+}
 
-    fn stored_ids(&self) -> usize {
-        self.removed.len() + self.added.len()
+/// Borrowed view of one stored delta, arena-backed (see
+/// [`DeviceHistory`]): the same shape as [`LineDelta`] but with the id
+/// slices pointing into the device's packed delta stream.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaRef<'a> {
+    /// Line offset of the replaced region.
+    pub at: u32,
+    /// Line ids the older snapshot had in the region.
+    pub removed: &'a [LineId],
+    /// Line ids the newer snapshot has in the region.
+    pub added: &'a [LineId],
+}
+
+impl DeltaRef<'_> {
+    /// Transform `lines` forward (older → newer state).
+    pub fn apply(&self, lines: &mut Vec<LineId>) {
+        let at = self.at as usize;
+        debug_assert_eq!(&lines[at..at + self.removed.len()], self.removed);
+        lines.splice(at..at + self.removed.len(), self.added.iter().copied());
     }
+
+    /// Transform `lines` backward (newer → older state).
+    pub fn revert(&self, lines: &mut Vec<LineId>) {
+        let at = self.at as usize;
+        debug_assert_eq!(&lines[at..at + self.added.len()], self.added);
+        lines.splice(at..at + self.added.len(), self.removed.iter().copied());
+    }
+
+    /// An owned [`LineDelta`] with the same content.
+    pub fn to_owned(self) -> LineDelta {
+        LineDelta { at: self.at, removed: self.removed.to_vec(), added: self.added.to_vec() }
+    }
+}
+
+/// Bounds of one delta inside a [`DeviceHistory`]'s packed id stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DeltaMeta {
+    /// Line offset of the replaced region.
+    at: u32,
+    /// Start of this delta's ids in `delta_ids` (removed first).
+    off: u32,
+    n_removed: u32,
+    n_added: u32,
 }
 
 /// One device's archived history: metadata per snapshot, the base line
 /// sequence, one delta per subsequent snapshot, and the materialized
 /// newest state (`tip`, rebuilt on deserialize, never serialized).
+///
+/// The deltas are stored as a packed stream — one flat `Vec<LineId>` for
+/// every delta's removed+added ids plus fixed-size [`DeltaMeta`] bounds —
+/// instead of one `LineDelta` (two heap `Vec`s) per snapshot. Replay
+/// walks every delta of every device, so at paper scale (~500K deltas)
+/// the packed layout trades ~1M scattered small allocations for two
+/// cache-friendly arrays per device; it also makes shard remapping in
+/// [`SnapshotArchive::merge_all`] a single linear pass.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct DeviceHistory {
     metas: Vec<SnapshotMeta>,
@@ -165,22 +271,53 @@ struct DeviceHistory {
     /// newline on reconstruction and preserves `total_bytes` semantics).
     text_lens: Vec<usize>,
     base: Vec<LineId>,
-    /// `deltas[i]` transforms snapshot `i` into snapshot `i + 1`.
-    deltas: Vec<LineDelta>,
+    /// `delta(i)` transforms snapshot `i` into snapshot `i + 1`.
+    delta_meta: Vec<DeltaMeta>,
+    /// Packed removed+added ids of every delta, in delta order.
+    delta_ids: Vec<LineId>,
     tip: Vec<LineId>,
 }
 
 impl DeviceHistory {
+    fn n_deltas(&self) -> usize {
+        self.delta_meta.len()
+    }
+
+    /// The `i`-th stored delta as a borrowed view.
+    fn delta(&self, i: usize) -> DeltaRef<'_> {
+        let m = self.delta_meta[i];
+        let off = m.off as usize;
+        let mid = off + m.n_removed as usize;
+        DeltaRef {
+            at: m.at,
+            removed: &self.delta_ids[off..mid],
+            added: &self.delta_ids[mid..mid + m.n_added as usize],
+        }
+    }
+
+    /// Append a delta to the packed stream.
+    fn push_delta(&mut self, d: &LineDelta) {
+        let off = u32::try_from(self.delta_ids.len()).expect("delta stream overflow");
+        self.delta_meta.push(DeltaMeta {
+            at: d.at,
+            off,
+            n_removed: u32::try_from(d.removed.len()).expect("delta hunk overflow"),
+            n_added: u32::try_from(d.added.len()).expect("delta hunk overflow"),
+        });
+        self.delta_ids.extend_from_slice(&d.removed);
+        self.delta_ids.extend_from_slice(&d.added);
+    }
+
     fn rebuild_tip(&mut self) {
         let mut cur = self.base.clone();
-        for d in &self.deltas {
-            d.apply(&mut cur);
+        for i in 0..self.n_deltas() {
+            self.delta(i).apply(&mut cur);
         }
         self.tip = cur;
     }
 
     fn stored_ids(&self) -> usize {
-        self.base.len() + self.deltas.iter().map(LineDelta::stored_ids).sum::<usize>()
+        self.base.len() + self.delta_ids.len()
     }
 
     /// Rewrite every stored line id through `remap` in place (shard-local →
@@ -193,22 +330,23 @@ impl DeviceHistory {
             }
             seq.len() as u64
         }
-        let mut n = map_seq(&mut self.base, remap);
-        for d in &mut self.deltas {
-            n += map_seq(&mut d.removed, remap);
-            n += map_seq(&mut d.added, remap);
-        }
-        n + map_seq(&mut self.tip, remap)
+        map_seq(&mut self.base, remap)
+            + map_seq(&mut self.delta_ids, remap)
+            + map_seq(&mut self.tip, remap)
     }
 }
 
 impl Serialize for DeviceHistory {
     fn to_value(&self) -> Value {
+        // The wire format stays one `LineDelta` object per delta (the
+        // packed stream is an in-memory layout, not a format).
+        let deltas: Vec<LineDelta> =
+            (0..self.n_deltas()).map(|i| self.delta(i).to_owned()).collect();
         Value::Object(vec![
             ("metas".to_string(), self.metas.to_value()),
             ("text_lens".to_string(), self.text_lens.to_value()),
             ("base".to_string(), self.base.to_value()),
-            ("deltas".to_string(), self.deltas.to_value()),
+            ("deltas".to_string(), deltas.to_value()),
         ])
     }
 }
@@ -220,9 +358,14 @@ impl Deserialize for DeviceHistory {
             metas: field(obj, "metas", "DeviceHistory")?,
             text_lens: field(obj, "text_lens", "DeviceHistory")?,
             base: field(obj, "base", "DeviceHistory")?,
-            deltas: field(obj, "deltas", "DeviceHistory")?,
+            delta_meta: Vec::new(),
+            delta_ids: Vec::new(),
             tip: Vec::new(),
         };
+        let deltas: Vec<LineDelta> = field(obj, "deltas", "DeviceHistory")?;
+        for d in &deltas {
+            hist.push_delta(d);
+        }
         hist.rebuild_tip();
         Ok(hist)
     }
@@ -380,7 +523,7 @@ impl SnapshotArchive {
         if hist.metas.is_empty() {
             hist.base.clone_from(&ids);
         } else {
-            hist.deltas.push(LineDelta::between(&hist.tip, &ids));
+            hist.push_delta(&LineDelta::between(&hist.tip, &ids));
         }
         debug_assert_eq!(materialize(&self.table, &ids, text.len()), text);
         hist.tip = ids;
@@ -432,7 +575,7 @@ impl SnapshotArchive {
         let mut cur = hist.base.clone();
         for (i, &len) in hist.text_lens.iter().enumerate() {
             if i > 0 {
-                hist.deltas[i - 1].apply(&mut cur);
+                hist.delta(i - 1).apply(&mut cur);
             }
             out.push(materialize(&self.table, &cur, len));
         }
@@ -460,7 +603,7 @@ impl SnapshotArchive {
         cur.extend_from_slice(&hist.base);
         for (i, &text_len) in hist.text_lens.iter().enumerate() {
             if i > 0 {
-                hist.deltas[i - 1].apply(&mut cur);
+                hist.delta(i - 1).apply(&mut cur);
             }
             let hash = ReplayBuffer::seq_hash(&cur, text_len);
             let slot = match buf.find(hash, &cur, text_len) {
@@ -500,6 +643,33 @@ impl SnapshotArchive {
         mpa_obs::counters::ARCHIVE_BYTES_MATERIALIZED.add(buf.text.len() as u64);
     }
 
+    /// Walk a device's history at the **delta level**, without materializing
+    /// any text: the returned cursor starts on the oldest snapshot and
+    /// exposes the interned line-id state, byte length and metadata of one
+    /// snapshot at a time; [`DeltaCursor::advance`] applies the next stored
+    /// [`LineDelta`] in place and hands it back, so a consumer can derive
+    /// per-snapshot work from the changed region alone. This is the
+    /// patch-iteration API behind the delta-native inference path (see
+    /// [`crate::incremental`]). `None` if the device has no snapshots.
+    pub fn delta_cursor(&self, dev: DeviceId) -> Option<DeltaCursor<'_>> {
+        let hist = self.by_device.get(&dev)?;
+        if hist.metas.is_empty() {
+            return None;
+        }
+        Some(DeltaCursor { archive: self, hist, cur: hist.base.clone(), ix: 0 })
+    }
+
+    /// The text of one interned line (no trailing newline).
+    pub fn line_text(&self, id: LineId) -> &str {
+        self.table.get(id)
+    }
+
+    /// Number of distinct lines interned in this archive's table. Line ids
+    /// are dense: every `LineId(i)` with `i < n_interned_lines()` is valid.
+    pub fn n_interned_lines(&self) -> usize {
+        self.table.len()
+    }
+
     /// Materialize a device's whole history as owned snapshots.
     pub fn device_history(&self, dev: DeviceId) -> Vec<Snapshot> {
         self.device_metas(dev)
@@ -518,8 +688,8 @@ impl SnapshotArchive {
         // near the end of the history.
         let hist = &self.by_device[&dev];
         let mut cur = hist.tip.clone();
-        for d in hist.deltas[ix..].iter().rev() {
-            d.revert(&mut cur);
+        for i in (ix..hist.n_deltas()).rev() {
+            hist.delta(i).revert(&mut cur);
         }
         Some(Snapshot {
             meta: metas[ix].clone(),
@@ -534,28 +704,12 @@ impl SnapshotArchive {
     /// Panics if the two archives share a device — device histories are
     /// whole units; per-network archives are always device-disjoint.
     pub fn merge(&mut self, other: SnapshotArchive) {
+        let SnapshotArchive { table: other_table, by_device: other_devices } = other;
         let remap: Vec<LineId> =
-            other.table.lines.iter().map(|l| self.table.intern(l)).collect();
-        let map_ids = |ids: Vec<LineId>| -> Vec<LineId> {
-            ids.into_iter().map(|id| remap[id.0 as usize]).collect()
-        };
-        for (dev, hist) in other.by_device {
-            let mapped = DeviceHistory {
-                metas: hist.metas,
-                text_lens: hist.text_lens,
-                base: map_ids(hist.base),
-                deltas: hist
-                    .deltas
-                    .into_iter()
-                    .map(|d| LineDelta {
-                        at: d.at,
-                        removed: map_ids(d.removed),
-                        added: map_ids(d.added),
-                    })
-                    .collect(),
-                tip: map_ids(hist.tip),
-            };
-            let prev = self.by_device.insert(dev, mapped);
+            other_table.line_strs().map(|l| self.table.intern(l)).collect();
+        for (dev, mut hist) in other_devices {
+            hist.remap_ids(&remap);
+            let prev = self.by_device.insert(dev, hist);
             assert!(prev.is_none(), "device {dev:?} present in both merged archives");
         }
     }
@@ -591,7 +745,7 @@ impl SnapshotArchive {
             .into_iter()
             .map(|shard| {
                 let remap: Vec<LineId> =
-                    shard.table.lines.iter().map(|l| table.intern(l)).collect();
+                    shard.table.line_strs().map(|l| table.intern(l)).collect();
                 (remap, shard.by_device)
             })
             .collect();
@@ -611,6 +765,74 @@ impl SnapshotArchive {
             }
         }
         SnapshotArchive { table, by_device }
+    }
+}
+
+/// Forward iteration over one device's archived history at the delta
+/// level (see [`SnapshotArchive::delta_cursor`]).
+///
+/// The cursor always sits **on** a snapshot: accessors describe the current
+/// one, and [`Self::advance`] replays the stored delta into the next state.
+/// Replay cost is O(changed lines) per step, and no text is ever rendered —
+/// consumers that need line content resolve individual ids through
+/// [`SnapshotArchive::line_text`].
+#[derive(Debug)]
+pub struct DeltaCursor<'a> {
+    archive: &'a SnapshotArchive,
+    hist: &'a DeviceHistory,
+    cur: Vec<LineId>,
+    ix: usize,
+}
+
+impl<'a> DeltaCursor<'a> {
+    /// Total snapshots in the device's history (≥ 1).
+    pub fn len(&self) -> usize {
+        self.hist.metas.len()
+    }
+
+    /// Always false: a cursor only exists for a non-empty history.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the snapshot the cursor is on (0 = oldest).
+    pub fn index(&self) -> usize {
+        self.ix
+    }
+
+    /// Interned line-id sequence of the current snapshot.
+    pub fn lines(&self) -> &[LineId] {
+        &self.cur
+    }
+
+    /// Byte length of the current snapshot's text (together with
+    /// [`Self::lines`] this identifies the text exactly, trailing newline
+    /// included).
+    pub fn text_len(&self) -> usize {
+        self.hist.text_lens[self.ix]
+    }
+
+    /// Metadata of the current snapshot.
+    pub fn meta(&self) -> &'a SnapshotMeta {
+        &self.hist.metas[self.ix]
+    }
+
+    /// The text of one interned line (convenience over the archive).
+    pub fn line_text(&self, id: LineId) -> &'a str {
+        self.archive.table.get(id)
+    }
+
+    /// Step to the next snapshot, applying its delta to the cursor state,
+    /// and return the delta that was applied. `None` at the end of the
+    /// history (the cursor stays on the last snapshot).
+    pub fn advance(&mut self) -> Option<DeltaRef<'a>> {
+        if self.ix >= self.hist.n_deltas() {
+            return None;
+        }
+        let delta = self.hist.delta(self.ix);
+        delta.apply(&mut self.cur);
+        self.ix += 1;
+        Some(delta)
     }
 }
 
@@ -697,7 +919,7 @@ impl ArchiveBuilder {
                 if i == 0 {
                     hist.base.clone_from(&snap.lines);
                 } else {
-                    hist.deltas.push(LineDelta::between(&hist.tip, &snap.lines));
+                    hist.push_delta(&LineDelta::between(&hist.tip, &snap.lines));
                 }
                 hist.tip = snap.lines;
                 hist.text_lens.push(snap.text_len);
@@ -848,7 +1070,7 @@ mod tests {
         assert_eq!(left.n_snapshots(), 2);
         assert_eq!(left.device_texts(DeviceId(2)), right_texts);
         // "shared line" interned once.
-        assert_eq!(left.table.lines.iter().filter(|l| *l == "shared line").count(), 1);
+        assert_eq!(left.table.line_strs().filter(|l| *l == "shared line").count(), 1);
     }
 
     #[test]
@@ -887,6 +1109,42 @@ mod tests {
         assert!(get("archive_lines_interned") >= 2, "dup + uniq stored once each");
         assert!(get("archive_line_hits") >= 1, "second dup is a hit");
         assert!(get("archive_bytes_saved") >= 4, "len(\"dup\") + newline");
+    }
+
+    #[test]
+    fn delta_cursor_replays_history_without_materializing() {
+        let texts = ["a\nb\n", "a\nc\nb\n", "a\nc\nb\n", "a\nb"];
+        let mut a = SnapshotArchive::new();
+        for (i, t) in texts.iter().enumerate() {
+            a.push(snap(5, i as u64 * 10, "x", t)).unwrap();
+        }
+        let mut cur = a.delta_cursor(DeviceId(5)).expect("history exists");
+        assert_eq!(cur.len(), 4);
+        assert!(!cur.is_empty());
+        let mut seen = Vec::new();
+        loop {
+            // Re-materialize through the cursor's state to prove it tracks
+            // each snapshot exactly (trailing newline via text_len).
+            let mut text = String::new();
+            for (k, &id) in cur.lines().iter().enumerate() {
+                if k > 0 {
+                    text.push('\n');
+                }
+                text.push_str(cur.line_text(id));
+            }
+            if text.len() + 1 == cur.text_len() {
+                text.push('\n');
+            }
+            assert_eq!(cur.meta().time, Timestamp(cur.index() as u64 * 10));
+            seen.push(text);
+            if cur.advance().is_none() {
+                break;
+            }
+        }
+        assert_eq!(seen, texts);
+        assert!(a.delta_cursor(DeviceId(99)).is_none());
+        assert!(a.n_interned_lines() >= 3, "a, b, c interned");
+        assert_eq!(a.line_text(LineId(0)), "a");
     }
 
     #[test]

@@ -33,6 +33,9 @@
 //! * [`archive`] — the delta-encoded snapshot store: per-archive line
 //!   interning, base-plus-deltas histories, exact bit-for-bit
 //!   reconstruction.
+//! * [`incremental`] — delta-native inference: an incremental stanza index
+//!   over the archive's line-id deltas that derives `diff_configs`-
+//!   equivalent change records while re-parsing only changed segments.
 //! * [`facts`] — extraction of design-practice facts (VLAN counts, protocol
 //!   sets, routing processes, intra-/inter-device references) from parsed
 //!   configs.
@@ -44,18 +47,22 @@ pub mod archive;
 pub mod diff;
 pub mod error;
 pub mod facts;
+pub mod incremental;
 pub mod parse;
 pub mod render;
 pub mod semantic;
 pub mod snapshot;
 pub mod typemap;
 
-pub use archive::{ArchiveBuilder, LineDelta, LineId, ReplayBuffer, SnapshotArchive};
+pub use archive::{
+    ArchiveBuilder, DeltaCursor, DeltaRef, LineDelta, LineId, ReplayBuffer, SnapshotArchive,
+};
 /// Compatibility alias: the archive is the delta-encoded store.
 pub use archive::SnapshotArchive as Archive;
 pub use diff::{diff_configs, ChangeAction, StanzaChange};
 pub use error::ConfigError;
 pub use facts::ConfigFacts;
+pub use incremental::{DeltaInference, DeviceReplay, KeyId, LineClasses};
 pub use parse::{parse_config, ParsedConfig, ParsedStanza};
 pub use render::{render_config, render_config_into};
 pub use semantic::DeviceConfig;

@@ -120,10 +120,25 @@ fn classify_block_header(line: &str) -> (Cow<'_, str>, Cow<'_, str>) {
     (Cow::Borrowed(kind), Cow::Borrowed(name))
 }
 
-fn parse_block_keyword(text: &str) -> Result<ParsedConfig<'_>, ConfigError> {
-    let mut stanzas: Vec<ParsedStanza<'_>> = Vec::new();
+/// Result of parsing a run of block-dialect lines: the stanzas plus the
+/// hostname effect. `hostname` is `None` when no hostname header appeared,
+/// `Some(h)` when one did — `h` itself may be `None` (a bare `hostname`
+/// header *resets* the declared name; later headers win).
+pub(crate) struct BlockLines<'a> {
+    pub(crate) stanzas: Vec<ParsedStanza<'a>>,
+    pub(crate) hostname: Option<Option<&'a str>>,
+}
+
+/// Shared core of the block-keyword parser, over any line sequence. The
+/// full parser feeds it a whole snapshot; the incremental path (see
+/// [`crate::incremental`]) feeds it one stanza segment of interned lines
+/// at a time, so both produce identical stanzas by construction.
+pub(crate) fn parse_block_lines<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<BlockLines<'a>, ConfigError> {
+    let mut stanzas: Vec<ParsedStanza<'a>> = Vec::new();
     let mut hostname = None;
-    for (ix, raw) in text.lines().enumerate() {
+    for (ix, raw) in lines.enumerate() {
         if raw.trim().is_empty() || raw.trim() == "!" {
             continue;
         }
@@ -137,13 +152,18 @@ fn parse_block_keyword(text: &str) -> Result<ParsedConfig<'_>, ConfigError> {
             let line = raw.trim_end();
             let (kind, name) = classify_block_header(line);
             if kind == "hostname" {
-                hostname = line.split_whitespace().nth(1);
+                hostname = Some(line.split_whitespace().nth(1));
             }
             stanzas.push(ParsedStanza { kind, name, lines: vec![Cow::Borrowed(line)] });
         }
     }
+    Ok(BlockLines { stanzas, hostname })
+}
+
+fn parse_block_keyword(text: &str) -> Result<ParsedConfig<'_>, ConfigError> {
+    let BlockLines { stanzas, hostname } = parse_block_lines(text.lines())?;
     Ok(ParsedConfig {
-        hostname: Cow::Borrowed(hostname.ok_or(ConfigError::MissingHostname)?),
+        hostname: Cow::Borrowed(hostname.flatten().ok_or(ConfigError::MissingHostname)?),
         dialect: Dialect::BlockKeyword,
         stanzas,
     })
@@ -156,7 +176,7 @@ fn parse_block_keyword(text: &str) -> Result<ParsedConfig<'_>, ConfigError> {
 /// Intermediate block tree for the brace dialect. Headers and leaves are
 /// trimmed slices of the input text.
 #[derive(Debug, Default)]
-struct Node<'a> {
+pub(crate) struct Node<'a> {
     header: &'a str,
     leaves: Vec<&'a str>,
     children: Vec<Node<'a>>,
@@ -191,7 +211,10 @@ impl<'a> Node<'a> {
     }
 }
 
-fn parse_tree(text: &str) -> Result<Vec<Node<'_>>, ConfigError> {
+/// Parse brace-dialect text into its top-level block tree. Root-level
+/// leaves are discarded (only blocks carry stanzas), matching the full
+/// parser; errors carry 1-based line numbers.
+pub(crate) fn parse_tree(text: &str) -> Result<Vec<Node<'_>>, ConfigError> {
     let mut root = Node::default();
     let mut stack: Vec<Node<'_>> = vec![];
     let mut cur = std::mem::take(&mut root);
@@ -221,10 +244,23 @@ fn parse_tree(text: &str) -> Result<Vec<Node<'_>>, ConfigError> {
 
 fn parse_brace_hierarchy(text: &str) -> Result<ParsedConfig<'_>, ConfigError> {
     let tree = parse_tree(text)?;
+    let (stanzas, hostname) = brace_stanzas(&tree);
+    Ok(ParsedConfig {
+        hostname: Cow::Borrowed(hostname.ok_or(ConfigError::MissingHostname)?),
+        dialect: Dialect::BraceHierarchy,
+        stanzas,
+    })
+}
+
+/// Shared stanza-generation core of the brace parser: turn a parsed block
+/// tree into stanzas plus the last `host-name` declaration seen, if any.
+/// The full parser runs it over the whole tree; the incremental path runs
+/// it over single top-level blocks, so both produce identical stanzas.
+pub(crate) fn brace_stanzas<'a>(tree: &[Node<'a>]) -> (Vec<ParsedStanza<'a>>, Option<&'a str>) {
     let mut stanzas = Vec::new();
     let mut hostname = None;
 
-    for top in &tree {
+    for top in tree {
         match top.header {
             "system" => {
                 // Direct leaves (host-name, ...) form the `system` stanza.
@@ -309,11 +345,7 @@ fn parse_brace_hierarchy(text: &str) -> Result<ParsedConfig<'_>, ConfigError> {
         }
     }
 
-    Ok(ParsedConfig {
-        hostname: Cow::Borrowed(hostname.ok_or(ConfigError::MissingHostname)?),
-        dialect: Dialect::BraceHierarchy,
-        stanzas,
-    })
+    (stanzas, hostname)
 }
 
 #[cfg(test)]

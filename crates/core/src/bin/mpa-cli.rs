@@ -21,7 +21,7 @@ use mpa_core::predict::{
     class_distribution, cross_validation, online_accuracy, render_tree, HealthClasses, ModelKind,
 };
 use mpa_core::{analyze_treatment, cmi_ranking, mi_ranking, CausalConfig, TextTable};
-use mpa_metrics::{infer_case_table, CaseTable, Metric};
+use mpa_metrics::{CaseTable, InferMode, Metric};
 use mpa_synth::{Dataset, Scenario};
 
 fn main() {
@@ -68,7 +68,8 @@ fn usage_and_exit() -> ! {
         "mpa-cli — Management Plane Analytics\n\n\
          usage:\n\
            mpa-cli generate --scale tiny|small|medium|paper [--seed N] --out dataset.json\n\
-           mpa-cli infer    --dataset dataset.json [--delta MIN] --out table.json\n\
+           mpa-cli infer    --dataset dataset.json [--delta MIN]\n\
+                            [--infer-mode delta|full] --out table.json\n\
            mpa-cli analyze  --table table.json [--causal-top N]\n\
            mpa-cli predict  --table table.json [--classes 2|5]\n\
            mpa-cli report   --table table.json\n\n\
@@ -89,6 +90,7 @@ struct Opts {
     dataset: Option<String>,
     table: Option<String>,
     delta: Option<u64>,
+    infer_mode: Option<InferMode>,
     causal_top: Option<usize>,
     classes: Option<u8>,
     threads: Option<usize>,
@@ -122,6 +124,13 @@ impl Opts {
                 "--dataset" => o.dataset = Some(value()),
                 "--table" => o.table = Some(value()),
                 "--delta" => o.delta = Some(parse_num("--delta", &value())),
+                "--infer-mode" => {
+                    let raw = value();
+                    o.infer_mode = Some(InferMode::parse(&raw).unwrap_or_else(|| {
+                        eprintln!("--infer-mode must be \"delta\" or \"full\", got {raw:?}");
+                        std::process::exit(2);
+                    }));
+                }
                 "--causal-top" => o.causal_top = Some(parse_num("--causal-top", &value())),
                 "--classes" => {
                     let n: u8 = parse_num("--classes", &value());
@@ -201,9 +210,10 @@ fn infer(opts: &Opts) {
         std::process::exit(1);
     });
     dataset.inventory.rebuild_index(); // skipped field; see Inventory docs
-    let table = mpa_core::exec::timed_phase("infer", || match opts.delta {
-        Some(delta) => mpa_metrics::pipeline::infer(&dataset, delta).table,
-        None => infer_case_table(&dataset),
+    let delta = opts.delta.unwrap_or(mpa_metrics::DELTA_DEFAULT_MINUTES);
+    let mode = opts.infer_mode.unwrap_or_default();
+    let table = mpa_core::exec::timed_phase("infer", || {
+        mpa_metrics::infer_with_mode(&dataset, delta, mode).table
     });
     eprintln!("inferred {} cases", table.n_cases());
     let out = opts.out.as_deref().unwrap_or("table.json");

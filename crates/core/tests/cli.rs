@@ -151,6 +151,7 @@ fn invalid_flag_values_are_rejected_with_exit_2() {
     let cases: &[(&[&str], &str)] = &[
         (&["generate", "--scale", "tiny", "--seed", "abc"], "--seed"),
         (&["infer", "--delta", "ten"], "--delta"),
+        (&["infer", "--infer-mode", "turbo"], "--infer-mode"),
         (&["analyze", "--causal-top", "-1"], "--causal-top"),
         (&["report", "--threads", "1.5"], "--threads"),
         (&["predict", "--classes", "two"], "--classes"),
@@ -247,6 +248,67 @@ fn obs_report_is_well_formed_and_cache_counters_balance() {
     for phase in ["mi_ranking", "cmi_ranking", "causal", "predict"] {
         assert!(labels.iter().any(|l| l == phase), "spans {labels:?} lack {phase:?}");
     }
+}
+
+#[test]
+fn infer_modes_agree_and_both_balance_the_parse_cache() {
+    let dataset = tmp("modes-dataset.json");
+    let out = cli()
+        .args(["generate", "--scale", "tiny", "--out", dataset.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let mut tables: Vec<String> = Vec::new();
+    for mode in ["full", "delta"] {
+        let table = tmp(&format!("modes-table-{mode}.json"));
+        let obs = tmp(&format!("modes-run-{mode}.json"));
+        let out = cli()
+            .args([
+                "infer",
+                "--dataset",
+                dataset.to_str().unwrap(),
+                "--infer-mode",
+                mode,
+                "--out",
+                table.to_str().unwrap(),
+                "--obs-out",
+                obs.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run infer");
+        assert!(
+            out.status.success(),
+            "infer --infer-mode {mode} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        tables.push(std::fs::read_to_string(&table).expect("read table"));
+
+        // The cache invariant holds in *both* engines: every visited
+        // snapshot is accounted as a hit or a miss, whichever path
+        // analyzed it.
+        let report = read_report(&obs);
+        let counters = get(&report, "counters");
+        let visited = as_u64(get(counters, "parse_snapshots_visited"));
+        let hits = as_u64(get(counters, "parse_cache_hits"));
+        let misses = as_u64(get(counters, "parse_cache_misses"));
+        assert!(visited > 0, "{mode} mode visited no snapshots");
+        assert_eq!(
+            hits + misses,
+            visited,
+            "{mode} mode cache accounting leak: {hits} + {misses} != {visited}"
+        );
+        let full_parses = as_u64(get(counters, "infer_full_parses"));
+        let reparsed = as_u64(get(counters, "infer_stanzas_reparsed"));
+        match mode {
+            "full" => assert!(full_parses > 0, "full mode must count its full parses"),
+            _ => {
+                assert_eq!(full_parses, 0, "delta mode must never full-parse");
+                assert!(reparsed > 0, "delta mode must count reparsed stanzas");
+            }
+        }
+    }
+    assert_eq!(tables[0], tables[1], "case tables must be byte-identical across modes");
 }
 
 #[test]

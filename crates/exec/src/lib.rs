@@ -108,6 +108,14 @@ where
 
     let next = AtomicUsize::new(0);
     let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(n_threads);
+    // Measured occupancy: each worker reports the CPU time its thread
+    // actually consumed, and the region times its wall clock, so
+    // `sum(busy) / wall` is the parallelism the region *achieved*. CPU
+    // time (not thread lifetime) is essential: on a one-core or
+    // oversubscribed host a descheduled worker still accrues wall time,
+    // which would report phantom parallelism.
+    let mut busy_ns = 0u64;
+    let region_start = Instant::now();
     std::thread::scope(|scope| {
         let next = &next;
         let f = &f;
@@ -115,6 +123,8 @@ where
             .map(|slot| {
                 scope.spawn(move || {
                     IN_WORKER.with(|w| w.set(true));
+                    let wall_start = Instant::now();
+                    let cpu_start = thread_cpu_ns();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -124,26 +134,52 @@ where
                         local.push((i, f(i, &items[i])));
                     }
                     mpa_obs::sched::record_worker(slot, local.len() as u64);
-                    local
+                    let busy = cpu_start
+                        .and_then(|c0| thread_cpu_ns().map(|c1| c1.saturating_sub(c0)))
+                        .unwrap_or_else(|| wall_start.elapsed().as_nanos() as u64);
+                    (local, busy)
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(part) => parts.push(part),
+                Ok((part, ns)) => {
+                    busy_ns += ns;
+                    parts.push(part);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    let wall_ns = region_start.elapsed().as_nanos() as u64;
 
     let busiest = parts.iter().map(Vec::len).max().unwrap_or(0);
     let idlest = parts.iter().map(Vec::len).min().unwrap_or(0);
     mpa_obs::sched::record_region((busiest - idlest) as u64);
+    let active = parts.iter().filter(|p| !p.is_empty()).count() as u64;
+    mpa_obs::sched::record_region_occupancy(busy_ns, wall_ns, active);
 
     let mut merged: Vec<(usize, R)> = parts.into_iter().flatten().collect();
     merged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert_eq!(merged.len(), items.len());
     merged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds, read from
+/// `/proc/thread-self/stat` (utime + stime, in USER_HZ ticks; the Linux
+/// userspace ABI fixes USER_HZ at 100 regardless of the kernel's HZ).
+/// `None` where `/proc` is unavailable (non-Linux hosts); occupancy then
+/// falls back to worker wall time, which overestimates on oversubscribed
+/// hosts but keeps the stat defined everywhere.
+fn thread_cpu_ns() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // utime/stime are fields 14/15, but the comm field (2) may contain
+    // spaces — index from the closing paren instead of the line start.
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) * 10_000_000)
 }
 
 /// Map `f` over contiguous chunks of `items` in parallel, concatenating the

@@ -1,7 +1,8 @@
 //! End-to-end inference: dataset → case table.
 //!
 //! For every network the pipeline makes a single pass over each device's
-//! snapshot history (each snapshot is parsed exactly once), deriving:
+//! snapshot history (each distinct snapshot state is analyzed exactly
+//! once), deriving:
 //!
 //! 1. **change records** — stanza diffs of successive snapshots, typed and
 //!    classified as automated/manual (O1–O3);
@@ -9,6 +10,15 @@
 //!    each month's end feeds the design metrics (D1–D6);
 //! 3. **events** — change records chained with the δ heuristic (O4);
 //! 4. **health** — incident tickets per month, planned maintenance excluded.
+//!
+//! Two interchangeable engines produce the change records and facts
+//! ([`InferMode`]): the **delta-native** default replays the archive's
+//! line-id deltas through [`DeltaInference`], re-parsing only segments
+//! whose line span changed; the **full** oracle materializes every
+//! distinct text and runs the whole parser on each. Their outputs are
+//! byte-identical (golden- and property-tested) — the delta path just
+//! does string work proportional to changed bytes instead of archive
+//! bytes.
 //!
 //! Network-months without logging coverage are dropped, mirroring the
 //! paper's missing-snapshot months (≈11K usable cases out of 850 × 17).
@@ -20,10 +30,44 @@ use crate::events::{group_events, DELTA_DEFAULT_MINUTES};
 use crate::table::{Case, CaseTable};
 use mpa_config::facts::{extract_facts, ConfigFacts};
 use mpa_config::typemap::ChangeType;
-use mpa_config::{diff_configs, parse_config, ParsedConfig, ReplayBuffer};
+use mpa_config::{
+    diff_configs, parse_config, ChangeAction, DeltaInference, KeyId, LineClasses, ParsedConfig,
+    ReplayBuffer, SnapshotMeta,
+};
 use mpa_model::{DeviceId, NetworkId, Role};
 use mpa_synth::Dataset;
 use std::collections::BTreeMap;
+
+/// Which engine derives change records and month-end facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferMode {
+    /// Materialize every distinct snapshot text and run the full parser on
+    /// each — the original pipeline, retained as the equivalence oracle.
+    Full,
+    /// Replay the archive's line-id deltas and re-parse only segments
+    /// whose line span changed (the default).
+    #[default]
+    Delta,
+}
+
+impl InferMode {
+    /// Parse a CLI flag value (`"full"` / `"delta"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(Self::Full),
+            "delta" => Some(Self::Delta),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for reports and usage text.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Full => "full",
+            Self::Delta => "delta",
+        }
+    }
+}
 
 /// Everything inference produces. The case table drives the analytics; the
 /// per-network change records additionally back the δ-sensitivity and
@@ -41,8 +85,15 @@ pub fn infer_case_table(dataset: &Dataset) -> CaseTable {
     infer(dataset, DELTA_DEFAULT_MINUTES).table
 }
 
-/// Run the full inference pipeline with an explicit event window.
+/// Run the full inference pipeline with an explicit event window, using
+/// the default (delta-native) engine.
 pub fn infer(dataset: &Dataset, delta_minutes: u64) -> Inference {
+    infer_with_mode(dataset, delta_minutes, InferMode::default())
+}
+
+/// Run the full inference pipeline with an explicit event window and
+/// engine choice.
+pub fn infer_with_mode(dataset: &Dataset, delta_minutes: u64, mode: InferMode) -> Inference {
     let n_months = dataset.period.n_months();
 
     // Incident tickets per (network, month).
@@ -56,12 +107,21 @@ pub fn infer(dataset: &Dataset, delta_minutes: u64) -> Inference {
         }
     }
 
+    // Line classification is a pure function of the archive's intern table:
+    // built once here, shared read-only by every network's delta engine.
+    // `Some` doubles as the mode switch for `infer_network`.
+    let classes = match mode {
+        InferMode::Delta => Some(LineClasses::new(&dataset.archive)),
+        InferMode::Full => None,
+    };
+
     // Each network's inference reads only shared immutable state (dataset,
-    // ticket counts) and produces its own case rows, so networks fan out
-    // across worker threads; merging in network order keeps the CaseTable
-    // identical to a sequential run at any thread count.
+    // ticket counts, line classes) and produces its own case rows, so
+    // networks fan out across worker threads; merging in network order
+    // keeps the CaseTable identical to a sequential run at any thread
+    // count.
     let per_network = mpa_exec::par_map(&dataset.networks, |_, network| {
-        infer_network(dataset, network, &tickets, n_months, delta_minutes)
+        infer_network(dataset, network, &tickets, n_months, delta_minutes, classes.as_ref())
     });
 
     let mut all_cases = Vec::new();
@@ -75,96 +135,56 @@ pub fn infer(dataset: &Dataset, delta_minutes: u64) -> Inference {
 }
 
 /// Infer all case rows and change records for one network (pure w.r.t. the
-/// shared dataset; the parallel unit of `infer`).
+/// shared dataset; the parallel unit of `infer`). `classes` selects the
+/// engine: `Some` runs delta-native inference, `None` the full-parse
+/// oracle.
 fn infer_network(
     dataset: &Dataset,
     network: &mpa_model::Network,
     tickets: &BTreeMap<(NetworkId, usize), f64>,
     n_months: usize,
     delta_minutes: u64,
+    classes: Option<&LineClasses>,
 ) -> (NetworkId, Vec<Case>, Vec<DeviceChange>) {
     let mut all_cases = Vec::new();
     let roles: BTreeMap<DeviceId, Role> =
         network.devices.iter().map(|d| (d.id, d.role)).collect();
 
-    // Single parse pass per device: change records + month-end facts.
+    // Single analysis pass per device: change records + month-end facts.
     let mut net_changes: Vec<DeviceChange> = Vec::new();
     // facts_by_month[m][device] = facts at end of month m.
     let mut facts_by_month: Vec<BTreeMap<DeviceId, ConfigFacts>> =
         vec![BTreeMap::new(); n_months];
 
-    // One replay arena reused across every device of the network: the
-    // archive dedups snapshot states on the interned line-id sequences and
-    // materializes only the distinct texts into this buffer, so the walk
-    // costs one allocation pool per network instead of one `String` per
-    // snapshot (the churn that used to serialize workers on the allocator).
+    // One engine (or one replay arena, in full mode) serves every device
+    // of the network, so segment parses are shared across devices —
+    // stanzas repeat heavily within a network.
+    let mut engine = classes.map(|c| DeltaInference::new(&dataset.archive, c));
     let mut replay = ReplayBuffer::new();
+    let mut pairs: Vec<(KeyId, ChangeAction)> = Vec::new();
     for device in &network.devices {
         let metas = dataset.archive.device_metas(device.id);
         if metas.is_empty() {
             continue;
         }
-        dataset.archive.device_distinct_texts(device.id, &mut replay);
-        // Parse cache: `canon[ix]` is the distinct slot carrying snapshot
-        // `ix`'s text (first-appearance order), so each *distinct* config
-        // of the device is parsed (and fact-extracted) exactly once.
-        // Adjacent duplicates never reach the archive, but reverts to an
-        // earlier state do. Slot assignment equals full-text dedup
-        // (property-tested), so the counters below are unchanged.
-        // Invariant maintained here: hits + misses == snapshots visited.
-        let canon = replay.canon();
-        let n_distinct = replay.n_distinct() as u64;
-        mpa_obs::counters::PARSE_SNAPSHOTS_VISITED.add(canon.len() as u64);
-        mpa_obs::counters::PARSE_CACHE_HITS.add(canon.len() as u64 - n_distinct);
-        mpa_obs::counters::PARSE_CACHE_MISSES.add(n_distinct);
-        let parsed: Vec<Option<ParsedConfig<'_>>> = (0..replay.n_distinct())
-            .map(|slot| parse_config(replay.text(slot), device.dialect()).ok())
-            .collect();
-        let parsed_at = |ix: usize| parsed[canon[ix]].as_ref();
-
-        // Change records from successive parseable snapshots.
-        let mut prev_ix: Option<usize> = None;
-        for (ix, meta) in metas.iter().enumerate() {
-            if parsed_at(ix).is_none() {
-                continue;
-            }
-            if let Some(pi) = prev_ix {
-                let old = parsed_at(pi).expect("tracked as parseable");
-                let new = parsed_at(ix).expect("checked");
-                let stanza_changes = diff_configs(old, new);
-                if !stanza_changes.is_empty() {
-                    let mut types: Vec<ChangeType> =
-                        stanza_changes.iter().map(|c| c.change_type).collect();
-                    types.sort_unstable();
-                    types.dedup();
-                    net_changes.push(DeviceChange {
-                        device: device.id,
-                        time: meta.time,
-                        login: meta.login.clone(),
-                        automated: dataset.directory.is_automated(&meta.login),
-                        types,
-                        n_stanzas: stanza_changes.len(),
-                    });
-                }
-            }
-            prev_ix = Some(ix);
-        }
-
-        // Month-end facts: the latest parseable snapshot at or before
-        // each month boundary. Facts are memoized per *distinct* config
-        // (canonical index) so a quiet device is only analyzed once.
-        let mut facts_cache: BTreeMap<usize, ConfigFacts> = BTreeMap::new();
-        for (month, month_facts) in facts_by_month.iter_mut().enumerate() {
-            let end = dataset.period.month_end(month);
-            // partition_point over snapshot times (sorted per archive).
-            let upto = metas.partition_point(|m| m.time < end);
-            let Some(ix) = (0..upto).rev().find(|&i| parsed_at(i).is_some()) else {
-                continue;
-            };
-            let facts = facts_cache
-                .entry(canon[ix])
-                .or_insert_with(|| extract_facts(parsed_at(ix).expect("parseable")));
-            month_facts.insert(device.id, facts.clone());
+        match engine.as_mut() {
+            Some(engine) => infer_device_delta(
+                dataset,
+                device,
+                metas,
+                engine,
+                &mut pairs,
+                &mut net_changes,
+                &mut facts_by_month,
+            ),
+            None => infer_device_full(
+                dataset,
+                device,
+                metas,
+                &mut replay,
+                &mut net_changes,
+                &mut facts_by_month,
+            ),
         }
     }
 
@@ -260,6 +280,154 @@ fn infer_network(
     }
 
     (network.id, all_cases, net_changes)
+}
+
+/// Full-parse oracle for one device: materialize every distinct snapshot
+/// text and run the whole parser on each. Retained as the equivalence
+/// oracle for the delta path (`--infer-mode full`).
+fn infer_device_full(
+    dataset: &Dataset,
+    device: &mpa_model::Device,
+    metas: &[SnapshotMeta],
+    replay: &mut ReplayBuffer,
+    net_changes: &mut Vec<DeviceChange>,
+    facts_by_month: &mut [BTreeMap<DeviceId, ConfigFacts>],
+) {
+    dataset.archive.device_distinct_texts(device.id, replay);
+    // Parse cache: `canon[ix]` is the distinct slot carrying snapshot
+    // `ix`'s text (first-appearance order), so each *distinct* config
+    // of the device is parsed (and fact-extracted) exactly once.
+    // Adjacent duplicates never reach the archive, but reverts to an
+    // earlier state do. Slot assignment equals full-text dedup
+    // (property-tested), so the counters below are mode-independent.
+    // Invariant maintained here: hits + misses == snapshots visited.
+    let canon = replay.canon();
+    let n_distinct = replay.n_distinct() as u64;
+    mpa_obs::counters::PARSE_SNAPSHOTS_VISITED.add(canon.len() as u64);
+    mpa_obs::counters::PARSE_CACHE_HITS.add(canon.len() as u64 - n_distinct);
+    mpa_obs::counters::PARSE_CACHE_MISSES.add(n_distinct);
+    mpa_obs::counters::INFER_FULL_PARSES.add(n_distinct);
+    let parsed: Vec<Option<ParsedConfig<'_>>> = (0..replay.n_distinct())
+        .map(|slot| parse_config(replay.text(slot), device.dialect()).ok())
+        .collect();
+    let parsed_at = |ix: usize| parsed[canon[ix]].as_ref();
+
+    // Change records from successive parseable snapshots.
+    let mut prev_ix: Option<usize> = None;
+    for (ix, meta) in metas.iter().enumerate() {
+        if parsed_at(ix).is_none() {
+            continue;
+        }
+        if let Some(pi) = prev_ix {
+            let old = parsed_at(pi).expect("tracked as parseable");
+            let new = parsed_at(ix).expect("checked");
+            let stanza_changes = diff_configs(old, new);
+            if !stanza_changes.is_empty() {
+                let mut types: Vec<ChangeType> =
+                    stanza_changes.iter().map(|c| c.change_type).collect();
+                types.sort_unstable();
+                types.dedup();
+                net_changes.push(DeviceChange {
+                    device: device.id,
+                    time: meta.time,
+                    login: meta.login.clone(),
+                    automated: dataset.directory.is_automated(&meta.login),
+                    types,
+                    n_stanzas: stanza_changes.len(),
+                });
+            }
+        }
+        prev_ix = Some(ix);
+    }
+
+    // Month-end facts: the latest parseable snapshot at or before
+    // each month boundary. Facts are memoized per *distinct* config
+    // (canonical index) so a quiet device is only analyzed once.
+    let mut facts_cache: BTreeMap<usize, ConfigFacts> = BTreeMap::new();
+    for (month, month_facts) in facts_by_month.iter_mut().enumerate() {
+        let end = dataset.period.month_end(month);
+        // partition_point over snapshot times (sorted per archive).
+        let upto = metas.partition_point(|m| m.time < end);
+        let Some(ix) = (0..upto).rev().find(|&i| parsed_at(i).is_some()) else {
+            continue;
+        };
+        let facts = facts_cache
+            .entry(canon[ix])
+            .or_insert_with(|| extract_facts(parsed_at(ix).expect("parseable")));
+        month_facts.insert(device.id, facts.clone());
+    }
+}
+
+/// Delta-native inference for one device: replay the archive's line-id
+/// deltas through `engine`, paying string-parse cost only for cache-novel
+/// segments. Emits exactly the records `infer_device_full` would
+/// (golden- and property-tested), including the parse-cache counter
+/// triple — state dedup is the same `(line ids, byte length)` keying the
+/// replay buffer uses, so `hits + misses == visited` holds identically
+/// in both modes.
+fn infer_device_delta(
+    dataset: &Dataset,
+    device: &mpa_model::Device,
+    metas: &[SnapshotMeta],
+    engine: &mut DeltaInference<'_>,
+    pairs: &mut Vec<(KeyId, ChangeAction)>,
+    net_changes: &mut Vec<DeviceChange>,
+    facts_by_month: &mut [BTreeMap<DeviceId, ConfigFacts>],
+) {
+    let replay = engine
+        .replay_device(device.id, device.dialect())
+        .expect("device has snapshots (metas is non-empty)");
+    let n_distinct = replay.n_distinct() as u64;
+    mpa_obs::counters::PARSE_SNAPSHOTS_VISITED.add(replay.n_snapshots() as u64);
+    mpa_obs::counters::PARSE_CACHE_HITS.add(replay.n_snapshots() as u64 - n_distinct);
+    mpa_obs::counters::PARSE_CACHE_MISSES.add(n_distinct);
+
+    // Change records from successive parseable snapshots. The merge walk
+    // in `changes_between` yields one `(key, action)` pair per stanza
+    // `diff_configs` would report, so the counts and deduped type sets
+    // below match the oracle's.
+    let mut prev_ix: Option<usize> = None;
+    for (ix, meta) in metas.iter().enumerate() {
+        let slot = replay.slot(ix);
+        if !replay.parseable(slot) {
+            continue;
+        }
+        if let Some(pi) = prev_ix {
+            engine.changes_between(&replay, replay.slot(pi), slot, pairs);
+            if !pairs.is_empty() {
+                let mut types: Vec<ChangeType> =
+                    pairs.iter().map(|&(k, _)| engine.change_type(k)).collect();
+                types.sort_unstable();
+                types.dedup();
+                net_changes.push(DeviceChange {
+                    device: device.id,
+                    time: meta.time,
+                    login: meta.login.clone(),
+                    automated: dataset.directory.is_automated(&meta.login),
+                    types,
+                    n_stanzas: pairs.len(),
+                });
+            }
+        }
+        prev_ix = Some(ix);
+    }
+
+    // Month-end facts, memoized per distinct state exactly as in the full
+    // path; the parsed config is assembled from cached segments, never
+    // from re-rendered text.
+    let mut facts_cache: BTreeMap<u32, ConfigFacts> = BTreeMap::new();
+    for (month, month_facts) in facts_by_month.iter_mut().enumerate() {
+        let end = dataset.period.month_end(month);
+        let upto = metas.partition_point(|m| m.time < end);
+        let Some(ix) = (0..upto).rev().find(|&i| replay.parseable(replay.slot(i))) else {
+            continue;
+        };
+        let slot = replay.slot(ix);
+        let facts = facts_cache.entry(slot).or_insert_with(|| {
+            extract_facts(&engine.state_config(&replay, slot).expect("parseable"))
+        });
+        month_facts.insert(device.id, facts.clone());
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +533,15 @@ mod tests {
                 assert!(case.value(Metric::DevicesChanged) <= case.value(Metric::Devices));
             }
         }
+    }
+
+    #[test]
+    fn delta_and_full_modes_agree_exactly() {
+        let ds = tiny();
+        let full = infer_with_mode(&ds, DELTA_DEFAULT_MINUTES, InferMode::Full);
+        let delta = infer_with_mode(&ds, DELTA_DEFAULT_MINUTES, InferMode::Delta);
+        assert_eq!(full.device_changes, delta.device_changes);
+        assert_eq!(full.table, delta.table);
     }
 
     #[test]

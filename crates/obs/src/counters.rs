@@ -87,6 +87,20 @@ pub static PARSE_CACHE_HITS: Counter = Counter::new("parse_cache_hits");
 /// Snapshots with novel text, parsed and fact-extracted once.
 pub static PARSE_CACHE_MISSES: Counter = Counter::new("parse_cache_misses");
 
+// --- delta-native inference (incremented by mpa-config / mpa-metrics) ----
+
+/// Whole-snapshot parses performed by the full-parse oracle path
+/// (`--infer-mode full`); the delta-native path performs none, which is
+/// exactly the point.
+pub static INFER_FULL_PARSES: Counter = Counter::new("infer_full_parses");
+/// Stanzas parsed by the delta-native path: stanzas of segments not
+/// already present in the per-network segment cache (novel text only).
+pub static INFER_STANZAS_REPARSED: Counter = Counter::new("infer_stanzas_reparsed");
+/// Bytes of stanza text the delta-native path actually read and parsed
+/// (novel segments only). Compare against `archive_bytes_materialized`
+/// under the full path for the cost-proportional-to-changed-bytes claim.
+pub static INFER_DELTA_BYTES: Counter = Counter::new("infer_delta_bytes");
+
 // --- parallel execution (incremented by mpa-exec) ------------------------
 
 /// Parallel regions entered (`par_map` + `par_chunk_map` calls, counted
@@ -124,6 +138,9 @@ pub static ALL: &[&Counter] = &[
     &PARSE_SNAPSHOTS_VISITED,
     &PARSE_CACHE_HITS,
     &PARSE_CACHE_MISSES,
+    &INFER_FULL_PARSES,
+    &INFER_STANZAS_REPARSED,
+    &INFER_DELTA_BYTES,
     &PAR_MAP_REGIONS,
     &PAR_MAP_TASKS,
     &CAUSAL_COMPARISONS,

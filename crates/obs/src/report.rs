@@ -58,8 +58,15 @@ impl RunReport {
         out.push_str(",\n  \"scheduling\": {\n    \"worker_tasks\": ");
         push_u64_array(&mut out, &self.sched.worker_tasks);
         out.push_str(&format!(
-            ",\n    \"parallel_regions\": {},\n    \"max_region_imbalance\": {}\n  }},\n",
-            self.sched.parallel_regions, self.sched.max_region_imbalance
+            ",\n    \"parallel_regions\": {},\n    \"max_region_imbalance\": {},\n    \
+             \"region_busy_ns\": {},\n    \"region_wall_ns\": {},\n    \
+             \"max_region_workers\": {},\n    \"effective_parallelism\": {:.3}\n  }},\n",
+            self.sched.parallel_regions,
+            self.sched.max_region_imbalance,
+            self.sched.region_busy_ns,
+            self.sched.region_wall_ns,
+            self.sched.max_region_workers,
+            self.sched.effective_parallelism()
         ));
         out.push_str("  \"spans\": ");
         push_spans(&mut out, &self.spans);
@@ -117,6 +124,9 @@ mod tests {
                 worker_tasks: vec![7, 5],
                 parallel_regions: 3,
                 max_region_imbalance: 2,
+                region_busy_ns: 1_500,
+                region_wall_ns: 1_000,
+                max_region_workers: 2,
             },
             spans: vec![SpanNode {
                 label: "infer \"x\"".to_string(),
@@ -133,6 +143,8 @@ mod tests {
         assert!(json.contains("\"configured\": 4"));
         assert!(json.contains("\"parse_cache_hits\": 10"));
         assert!(json.contains("\"worker_tasks\": [7, 5]"));
+        assert!(json.contains("\"effective_parallelism\": 1.500"));
+        assert!(json.contains("\"max_region_workers\": 2"));
         assert!(json.contains("\"label\": \"infer \\\"x\\\"\""));
         assert!(json.contains("\"wall_ns\": 42"));
         // Balanced braces/brackets outside string literals — a cheap

@@ -57,3 +57,27 @@ fn small_seed_outputs_match_golden_fixtures() {
         );
     }
 }
+
+#[test]
+fn both_infer_modes_reproduce_the_golden_case_table() {
+    // The committed case table is the oracle for the delta-native engine:
+    // both modes must reproduce it byte-for-byte, so an incremental-path
+    // bug cannot hide behind a same-session full-path regression.
+    if std::env::var("MPA_GOLDEN_WRITE").is_ok_and(|v| v == "1") {
+        return; // fixtures are being rewritten by the test above
+    }
+    let committed = std::fs::read_to_string(golden_dir().join("case_table_small.json"))
+        .expect("committed case-table fixture");
+    let dataset = Scenario::small().generate();
+    for mode in [InferMode::Full, InferMode::Delta] {
+        let table =
+            infer_with_mode(&dataset, mpa::metrics::DELTA_DEFAULT_MINUTES, mode).table;
+        let rendered = serde_json::to_string(&table).expect("serializes");
+        assert_eq!(
+            committed,
+            rendered,
+            "{} mode diverged from the golden case table",
+            mode.label()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! The delta-native inference engine and the full-parse oracle must be
+//! interchangeable: identical change records and byte-identical case
+//! tables, at every worker-thread count. (A single test function, because
+//! the thread count is process-global and the test harness runs functions
+//! concurrently.)
+
+use mpa::analytics::exec;
+use mpa::metrics::DELTA_DEFAULT_MINUTES;
+use mpa::prelude::*;
+
+#[test]
+fn delta_and_full_inference_agree_at_1_2_and_8_threads() {
+    let saved = exec::threads();
+    let dataset = Scenario::tiny().generate();
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        exec::set_threads(threads);
+        let full = infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, InferMode::Full);
+        let delta = infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, InferMode::Delta);
+        assert_eq!(
+            full.device_changes, delta.device_changes,
+            "change records diverged at {threads} threads"
+        );
+        let full_json = serde_json::to_string(&full.table).expect("serializes");
+        let delta_json = serde_json::to_string(&delta.table).expect("serializes");
+        assert_eq!(
+            full_json, delta_json,
+            "case tables must serialize byte-identically at {threads} threads"
+        );
+        // And both must match the other thread counts' output.
+        match &reference {
+            None => reference = Some(delta_json),
+            Some(r0) => assert_eq!(r0, &delta_json, "table diverged at {threads} threads"),
+        }
+    }
+    exec::set_threads(saved);
+}
