@@ -19,8 +19,9 @@
 //! scheduling stats, peak RSS) when the process finishes.
 
 use mpa_bench::experiments;
-use mpa_bench::fixtures::{by_scale, FixtureScale};
+use mpa_bench::fixtures::{by_scale, Fixture, FixtureScale};
 use mpa_metrics::InferMode;
+use mpa_synth::{CoverageReport, DegradeSpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,10 +30,18 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut obs_out: Option<String> = None;
     let mut infer_mode = InferMode::default();
+    let mut degrade = DegradeSpec::none();
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--degrade" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                degrade = DegradeSpec::parse(v).unwrap_or_else(|e| {
+                    eprintln!("--degrade: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--infer-mode" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 infer_mode = InferMode::parse(v).unwrap_or_else(|| {
@@ -81,8 +90,11 @@ fn main() {
              ({host_cores} cores available), infer mode {}",
             infer_mode.label()
         );
-        let bench =
-            mpa_bench::run_pipeline_bench_with_mode(&scale.scenario(), &counts, infer_mode);
+        let bench = mpa_bench::run_pipeline_bench_with_mode(
+            &scale.scenario().with_degrade(degrade),
+            &counts,
+            infer_mode,
+        );
         let json = serde_json::to_string(&bench).expect("bench serializes");
         std::fs::write(path, &json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
@@ -114,10 +126,18 @@ fn main() {
         let widest = bench.runs.last().expect("at least one run");
         if widest.threads > 1 && widest.effective_parallelism < 1.25 {
             eprintln!(
-                "[mpa]   speedup not reported: the {}-thread run achieved effective \
-                 parallelism {:.2} (workers were time-sliced, not concurrent); \
+                "[mpa]   speedup caveat: the {}-thread run achieved effective \
+                 parallelism {:.2} (workers were time-sliced, not concurrent), so the \
+                 measured total ratio {:.2}x (generate {:.2}x, infer {:.2}x, mi {:.2}x) \
+                 reflects occupancy, not the pipeline; \
                  deterministic: {} -> wrote {path}",
-                widest.threads, widest.effective_parallelism, bench.deterministic
+                widest.threads,
+                widest.effective_parallelism,
+                bench.speedup,
+                bench.generate_speedup,
+                bench.infer_speedup,
+                bench.mi_ranking_speedup,
+                bench.deterministic
             );
         } else {
             eprintln!(
@@ -140,13 +160,31 @@ fn main() {
         eprintln!(
             "usage: repro [--scale tiny|small|medium|paper] [--threads N] [--out DIR] \
              [--bench-out FILE] [--obs-out FILE] [--infer-mode delta|full] \
+             [--degrade none|light|heavy|key=rate,...] \
              <experiment>...|all|calibrate"
         );
         eprintln!("experiments: {}", experiments::ALL_EXPERIMENTS.join(" "));
         std::process::exit(2);
     }
 
-    let fx = by_scale(scale);
+    // Degraded scenarios bypass the pristine per-scale cache.
+    let custom: Option<Fixture> = degrade
+        .is_active()
+        .then(|| Fixture::custom(&scale.scenario().with_degrade(degrade)));
+    let fx = custom.as_ref().unwrap_or_else(|| by_scale(scale));
+
+    // Publish the scenario coverage scan (RunReport carries it) and print
+    // the one-line exercised/total summary per dimension.
+    let coverage = CoverageReport::scan(&fx.dataset);
+    coverage.publish();
+    let summary: Vec<String> = ["dialect", "change_type", "stanza_kind", "degrade_knob"]
+        .iter()
+        .map(|dim| {
+            let (ex, total) = coverage.exercised(dim);
+            format!("{dim} {ex}/{total}")
+        })
+        .collect();
+    eprintln!("[mpa] scenario coverage: {}", summary.join(", "));
     let mut ids: Vec<String> = Vec::new();
     for t in targets {
         match t.as_str() {

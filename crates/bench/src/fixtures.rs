@@ -47,7 +47,15 @@ pub struct Fixture {
 
 impl Fixture {
     fn build(scale: FixtureScale) -> Fixture {
-        let dataset = scale.scenario().generate();
+        Self::custom(&scale.scenario())
+    }
+
+    /// Build a fixture for an arbitrary scenario, uncached. The cached
+    /// accessors below only cover the pristine presets; degraded or
+    /// otherwise customized scenarios (e.g. `repro --degrade heavy`) go
+    /// through here and live as long as the caller keeps them.
+    pub fn custom(scenario: &Scenario) -> Fixture {
+        let dataset = scenario.generate();
         let inference = infer(&dataset, mpa_metrics::DELTA_DEFAULT_MINUTES);
         Fixture { dataset, inference, mi_cache: OnceLock::new(), causal_cache: OnceLock::new() }
     }

@@ -64,15 +64,18 @@ pub struct PipelineBench {
     pub infer_mode: String,
     /// One entry per benchmarked thread count.
     pub runs: Vec<PipelineRun>,
-    /// Total-time speedup of the best run over the 1-thread run.
+    /// Total-time ratio of the 1-thread baseline to the widest run. This is
+    /// the true measured figure, never clamped: a value below 1.0 records a
+    /// real slowdown (e.g. an oversubscribed host where extra workers are
+    /// time-sliced), which is exactly what a bench artifact exists to catch.
     pub speedup: f64,
-    /// Generate-phase speedup of the best run over the baseline run —
-    /// per-phase figures localize a scaling regression to the stage that
-    /// reintroduced a serial bottleneck.
+    /// Generate-phase ratio of the baseline to the widest run — per-phase
+    /// figures localize a scaling regression to the stage that reintroduced
+    /// a serial bottleneck. Like `speedup`, may fall below 1.0.
     pub generate_speedup: f64,
-    /// Infer-phase speedup of the best run over the baseline run.
+    /// Infer-phase ratio of the baseline to the widest run.
     pub infer_speedup: f64,
-    /// MI-ranking-phase speedup of the best run over the baseline run.
+    /// MI-ranking-phase ratio of the baseline to the widest run.
     pub mi_ranking_speedup: f64,
     /// Distinct snapshot states / snapshots visited during inference
     /// (`parse_cache_misses / parse_snapshots_visited` of the baseline
@@ -188,10 +191,15 @@ pub fn run_pipeline_bench_with_mode(
     }
     mpa_exec::set_threads(saved);
 
+    // True measured ratio: baseline (1-thread) time over the *widest* run's
+    // time, never clamped. A value below 1.0 is a real slowdown and must be
+    // recorded as such — the old best-run formula reported 1.0 whenever the
+    // widest run was slower than the baseline, hiding exactly the
+    // regression a bench artifact exists to catch.
     let phase_speedup = |phase: fn(&PipelineRun) -> f64| -> f64 {
         let base = phase(&runs[0]);
-        let best = runs.iter().map(phase).fold(f64::INFINITY, f64::min);
-        if best > 0.0 { base / best } else { 1.0 }
+        let widest = phase(runs.last().expect("at least one run"));
+        if widest > 0.0 { base / widest } else { 1.0 }
     };
     let dedup_ratio = {
         let c = &runs[0].counters;
@@ -256,7 +264,10 @@ mod tests {
             ("mi_ranking", bench.mi_ranking_speedup),
             ("total", bench.speedup),
         ] {
-            assert!(v.is_finite() && v >= 1.0, "{name} speedup must be ≥ 1 (best run): {v}");
+            // The ratio is unclamped: on a busy or one-core host the widest
+            // run can be slower than the baseline, so only positivity and
+            // finiteness are invariant.
+            assert!(v.is_finite() && v > 0.0, "{name} speedup must be a positive finite ratio: {v}");
         }
         assert!(
             bench.snapshot_dedup_ratio > 0.0 && bench.snapshot_dedup_ratio <= 1.0,

@@ -67,4 +67,4 @@ pub use parse::{parse_config, ParsedConfig, ParsedStanza};
 pub use render::{render_config, render_config_into};
 pub use semantic::DeviceConfig;
 pub use snapshot::{Login, Snapshot, SnapshotMeta, UserDirectory};
-pub use typemap::ChangeType;
+pub use typemap::{known_stanza_kinds, ChangeType};

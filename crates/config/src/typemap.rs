@@ -154,9 +154,72 @@ pub fn map_stanza_kind(dialect: Dialect, kind: &str) -> ChangeType {
     }
 }
 
+/// The vendor-native stanza kinds the table above recognizes for a
+/// dialect, in table order. This is the stanza-kind *universe* for the
+/// scenario coverage report: a generated corpus should exercise every
+/// entry, and CI gates on entries dropping to zero.
+pub fn known_stanza_kinds(dialect: Dialect) -> &'static [&'static str] {
+    match dialect {
+        Dialect::BlockKeyword => &[
+            "interface",
+            "vlan",
+            "ip access-list",
+            "router bgp",
+            "router ospf",
+            "pool",
+            "username",
+            "sflow",
+            "class-map",
+            "spanning-tree",
+            "lacp",
+            "udld",
+            "ip dhcp relay",
+            "hostname",
+            "ntp",
+            "snmp-server",
+        ],
+        Dialect::BraceHierarchy => &[
+            "interfaces",
+            "vlans",
+            "firewall filter",
+            "protocols bgp",
+            "protocols ospf",
+            "load-balance pool",
+            "system login user",
+            "protocols sflow",
+            "class-of-service",
+            "protocols rstp",
+            "protocols lacp",
+            "protocols udld",
+            "forwarding-options dhcp-relay",
+            "system",
+            "system ntp",
+            "snmp",
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn known_kinds_match_the_mapping_table() {
+        // Every known kind must map to a non-Other type, and the two lists
+        // must stay in sync with the match arms above.
+        for dialect in [Dialect::BlockKeyword, Dialect::BraceHierarchy] {
+            for kind in known_stanza_kinds(dialect) {
+                assert_ne!(
+                    map_stanza_kind(dialect, kind),
+                    ChangeType::Other,
+                    "{dialect:?} kind '{kind}' is listed as known but maps to Other"
+                );
+            }
+            // One entry per non-Other change type, plus one (Router absorbs
+            // both the BGP and OSPF stanzas).
+            assert_eq!(known_stanza_kinds(dialect).len(), ChangeType::ALL.len());
+        }
+    }
 
     #[test]
     fn acl_unifies_across_vendors() {

@@ -22,7 +22,7 @@ use mpa_core::predict::{
 };
 use mpa_core::{analyze_treatment, cmi_ranking, mi_ranking, CausalConfig, TextTable};
 use mpa_metrics::{CaseTable, InferMode, Metric};
-use mpa_synth::{Dataset, Scenario};
+use mpa_synth::{CoverageReport, Dataset, DegradeSpec, Scenario};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,7 +67,8 @@ fn usage_and_exit() -> ! {
     eprintln!(
         "mpa-cli — Management Plane Analytics\n\n\
          usage:\n\
-           mpa-cli generate --scale tiny|small|medium|paper [--seed N] --out dataset.json\n\
+           mpa-cli generate --scale tiny|small|medium|paper [--seed N]\n\
+                            [--degrade none|light|heavy|key=rate,...] --out dataset.json\n\
            mpa-cli infer    --dataset dataset.json [--delta MIN]\n\
                             [--infer-mode delta|full] --out table.json\n\
            mpa-cli analyze  --table table.json [--causal-top N]\n\
@@ -86,6 +87,7 @@ fn usage_and_exit() -> ! {
 struct Opts {
     scale: Option<String>,
     seed: Option<u64>,
+    degrade: Option<DegradeSpec>,
     out: Option<String>,
     dataset: Option<String>,
     table: Option<String>,
@@ -120,6 +122,13 @@ impl Opts {
             match flag.as_str() {
                 "--scale" => o.scale = Some(value()),
                 "--seed" => o.seed = Some(parse_num("--seed", &value())),
+                "--degrade" => {
+                    let raw = value();
+                    o.degrade = Some(DegradeSpec::parse(&raw).unwrap_or_else(|e| {
+                        eprintln!("--degrade: {e}");
+                        std::process::exit(2);
+                    }));
+                }
                 "--out" => o.out = Some(value()),
                 "--dataset" => o.dataset = Some(value()),
                 "--table" => o.table = Some(value()),
@@ -181,12 +190,36 @@ fn generate(opts: &Opts) {
     if let Some(seed) = opts.seed {
         scenario = scenario.with_seed(seed);
     }
+    if let Some(degrade) = opts.degrade {
+        scenario = scenario.with_degrade(degrade);
+    }
     let dataset = mpa_core::exec::timed_phase("generate", || scenario.generate());
     let summary = dataset.summary();
     eprintln!(
         "generated {} networks / {} devices / {} snapshots / {} tickets",
         summary.networks, summary.devices, summary.config_snapshots, summary.tickets
     );
+    if scenario.degrade.is_active() {
+        let st = &dataset.degrade;
+        eprintln!(
+            "degraded: {} snapshots dropped / {} kept of {} generated, \
+             {} reordered, {} logins ambiguated, {} tickets duplicated, {} corrupted",
+            st.snapshots_dropped(),
+            st.snapshots_kept(),
+            st.snapshots_generated,
+            st.snapshots_reordered,
+            st.logins_ambiguated,
+            st.tickets_duplicated,
+            st.tickets_corrupted
+        );
+    }
+    // Publish the coverage scan so an `--obs-out` report carries it.
+    let coverage = CoverageReport::scan(&dataset);
+    coverage.publish();
+    for dim in ["dialect", "change_type", "stanza_kind", "degrade_knob"] {
+        let (ex, total) = coverage.exercised(dim);
+        eprintln!("coverage: {dim} {ex}/{total}");
+    }
     let out = opts.out.as_deref().unwrap_or("dataset.json");
     let json = serde_json::to_string(&dataset).expect("dataset serializes");
     std::fs::write(out, json).unwrap_or_else(|e| {

@@ -157,6 +157,12 @@ fn invalid_flag_values_are_rejected_with_exit_2() {
         (&["predict", "--classes", "two"], "--classes"),
         (&["predict", "--classes", "3"], "--classes must be 2 or 5"),
         (&["predict", "--classes", "0"], "--classes must be 2 or 5"),
+        // Malformed degradation specs: unknown knob, non-numeric rate,
+        // rate outside [0, 1]. Each must exit 2 naming --degrade.
+        (&["generate", "--scale", "tiny", "--degrade", "bogus=1"], "--degrade"),
+        (&["generate", "--scale", "tiny", "--degrade", "miss=abc"], "--degrade"),
+        (&["generate", "--scale", "tiny", "--degrade", "miss=2.0"], "--degrade"),
+        (&["generate", "--scale", "tiny", "--degrade", "miss=NaN"], "--degrade"),
     ];
     for (args, needle) in cases {
         let out = cli().args(*args).output().expect("run cli");
@@ -349,6 +355,83 @@ fn counter_totals_do_not_depend_on_thread_count() {
             "counter totals differ between --threads {ref_threads} and --threads {threads}"
         );
     }
+}
+
+#[test]
+fn degraded_generate_reports_balanced_counters_and_coverage() {
+    let dataset = tmp("degrade-dataset.json");
+    let obs = tmp("degrade-run.json");
+    let out = cli()
+        .args([
+            "generate",
+            "--scale",
+            "tiny",
+            "--degrade",
+            "light",
+            "--out",
+            dataset.to_str().unwrap(),
+            "--obs-out",
+            obs.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run degraded generate");
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dataset.exists());
+
+    // The degradation counters must account for every snapshot the
+    // simulator produced: dropped + kept == generated, with real work on
+    // both sides of the ledger.
+    let report = read_report(&obs);
+    let counters = get(&report, "counters");
+    let generated = as_u64(get(counters, "degrade_snapshots_generated"));
+    let dropped = as_u64(get(counters, "degrade_snapshots_dropped"));
+    let kept = as_u64(get(counters, "degrade_snapshots_kept"));
+    assert!(generated > 0, "degraded generate produced no snapshots");
+    assert_eq!(dropped + kept, generated, "degrade accounting leak: {dropped} + {kept} != {generated}");
+    assert!(kept > 0, "light degradation must keep most snapshots");
+    let tickets = as_u64(get(counters, "degrade_tickets_generated"));
+    let duplicated = as_u64(get(counters, "degrade_tickets_duplicated"));
+    assert!(tickets > 0, "degraded generate produced no tickets");
+    assert!(duplicated <= tickets, "more duplicates than source tickets");
+
+    // The run report carries the scenario coverage scan: all four
+    // dimensions present, the dialect dimension fully exercised.
+    let coverage = get(&report, "coverage");
+    for dim in ["dialect", "change_type", "stanza_kind", "degrade_knob"] {
+        let items = get(coverage, dim)
+            .as_object()
+            .unwrap_or_else(|| panic!("coverage dimension {dim:?} is not an object"));
+        assert!(!items.is_empty(), "coverage dimension {dim:?} is empty");
+    }
+    let dialects = get(coverage, "dialect").as_object().expect("dialect object");
+    assert!(
+        dialects.iter().all(|(_, v)| as_u64(v) > 0),
+        "tiny corpus must exercise both dialects: {dialects:?}"
+    );
+}
+
+#[test]
+fn degraded_generate_is_deterministic_and_differs_from_pristine() {
+    let pristine = tmp("degrade-det-pristine.json");
+    let a = tmp("degrade-det-a.json");
+    let b = tmp("degrade-det-b.json");
+    for (extra, path) in [
+        (None, &pristine),
+        (Some("heavy"), &a),
+        (Some("heavy"), &b),
+    ] {
+        let mut args = vec!["generate", "--scale", "tiny", "--out", path.to_str().unwrap()];
+        if let Some(spec) = extra {
+            args.extend(["--degrade", spec]);
+        }
+        let out = cli().args(&args).output().expect("run generate");
+        assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    let ja = std::fs::read_to_string(&a).unwrap();
+    let jb = std::fs::read_to_string(&b).unwrap();
+    assert_eq!(ja, jb, "same seed + same spec must produce the identical corpus");
+    let jp = std::fs::read_to_string(&pristine).unwrap();
+    assert_ne!(ja, jp, "heavy degradation must actually alter the corpus");
 }
 
 #[test]

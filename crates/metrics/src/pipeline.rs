@@ -38,6 +38,12 @@ use mpa_model::{DeviceId, NetworkId, Role};
 use mpa_synth::Dataset;
 use std::collections::BTreeMap;
 
+/// History holes longer than this (~45 days, in the simulator's minute
+/// units) count as spanned gaps in `infer_gaps_spanned` — wider than any
+/// pristine month-to-month cadence, so pristine corpora report few and
+/// degraded ones audit their missing windows.
+const GAP_SPAN_MINUTES: u64 = 45 * 24 * 60;
+
 /// Which engine derives change records and month-end facts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InferMode {
@@ -166,6 +172,18 @@ fn infer_network(
         let metas = dataset.archive.device_metas(device.id);
         if metas.is_empty() {
             continue;
+        }
+        // Large holes in a device's history (a degraded corpus's missing
+        // collector windows, but also quiet devices in pristine ones) are
+        // spanned, not errored on: count them so degraded runs can audit
+        // that every gap was walked through. Mode-independent by
+        // construction — both engines see the same metas.
+        let gaps = metas
+            .windows(2)
+            .filter(|w| w[1].time.0.saturating_sub(w[0].time.0) > GAP_SPAN_MINUTES)
+            .count() as u64;
+        if gaps > 0 {
+            mpa_obs::counters::INFER_GAPS_SPANNED.add(gaps);
         }
         match engine.as_mut() {
             Some(engine) => infer_device_delta(

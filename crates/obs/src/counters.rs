@@ -120,6 +120,45 @@ pub static CAUSAL_CALIPER_DROPS: Counter = Counter::new("causal_caliper_drops");
 /// Matched pairs formed across all comparisons.
 pub static CAUSAL_MATCHED_PAIRS: Counter = Counter::new("causal_matched_pairs");
 
+// --- degradation accounting (incremented by mpa-synth) -------------------
+//
+// Invariants checked by the CLI tests: `degrade_snapshots_kept +
+// degrade_snapshots_dropped == degrade_snapshots_generated`, and the final
+// ticket count equals `degrade_tickets_generated +
+// degrade_tickets_duplicated`. All are summed from per-network stats on
+// the (deterministic, network-ordered) merge pass, so they are
+// thread-invariant like every other counter here.
+
+/// Snapshots produced by the pristine simulation before degradation.
+pub static DEGRADE_SNAPSHOTS_GENERATED: Counter =
+    Counter::new("degrade_snapshots_generated");
+/// Snapshots lost to missing windows, truncated histories or post-reorder
+/// dedup.
+pub static DEGRADE_SNAPSHOTS_DROPPED: Counter = Counter::new("degrade_snapshots_dropped");
+/// Snapshots surviving into the degraded archive.
+pub static DEGRADE_SNAPSHOTS_KEPT: Counter = Counter::new("degrade_snapshots_kept");
+/// Adjacent snapshot pairs whose timestamps were swapped (clock skew).
+pub static DEGRADE_SNAPSHOTS_REORDERED: Counter =
+    Counter::new("degrade_snapshots_reordered");
+/// Snapshot logins replaced with a shared account unknown to the
+/// user directory.
+pub static DEGRADE_LOGINS_AMBIGUATED: Counter = Counter::new("degrade_logins_ambiguated");
+/// Tickets produced by the pristine simulation before degradation.
+pub static DEGRADE_TICKETS_GENERATED: Counter = Counter::new("degrade_tickets_generated");
+/// Duplicate ticket records appended by the degradation pass.
+pub static DEGRADE_TICKETS_DUPLICATED: Counter = Counter::new("degrade_tickets_duplicated");
+/// Ticket records corrupted in place (resolution cleared, symptom
+/// replaced, possibly re-timestamped outside the study period).
+pub static DEGRADE_TICKETS_CORRUPTED: Counter = Counter::new("degrade_tickets_corrupted");
+
+// --- graceful inference (incremented by mpa-metrics) ----------------------
+
+/// Device-history gaps (> ~45 days between successive snapshots) the
+/// inference walk spanned without error. Gaps occur in pristine corpora
+/// too (quiet devices, unlogged months), so this counts *gaps spanned*,
+/// not degradations detected; it is identical across infer modes.
+pub static INFER_GAPS_SPANNED: Counter = Counter::new("infer_gaps_spanned");
+
 // --- boosting (incremented by mpa-learn) ---------------------------------
 
 /// AdaBoost rounds executed (trees fitted inside the boosting loop).
@@ -147,6 +186,15 @@ pub static ALL: &[&Counter] = &[
     &CAUSAL_SUPPORT_DROPS,
     &CAUSAL_CALIPER_DROPS,
     &CAUSAL_MATCHED_PAIRS,
+    &DEGRADE_SNAPSHOTS_GENERATED,
+    &DEGRADE_SNAPSHOTS_DROPPED,
+    &DEGRADE_SNAPSHOTS_KEPT,
+    &DEGRADE_SNAPSHOTS_REORDERED,
+    &DEGRADE_LOGINS_AMBIGUATED,
+    &DEGRADE_TICKETS_GENERATED,
+    &DEGRADE_TICKETS_DUPLICATED,
+    &DEGRADE_TICKETS_CORRUPTED,
+    &INFER_GAPS_SPANNED,
     &BOOST_ROUNDS,
     &BOOST_EARLY_STOPS,
 ];

@@ -1,0 +1,80 @@
+//! The scenario coverage registry.
+//!
+//! Counters answer "how much work happened"; coverage answers "which parts
+//! of the scenario space were *exercised at all*". Each dimension (stanza
+//! kinds, change types, dialects, degradation knobs) holds a set of items
+//! with exercise counts; items are *declared* up front — so unexercised
+//! items show up as zeros instead of silently missing — and *recorded*
+//! by the code that exercises them. The registry serializes into the
+//! RunReport as `"coverage": {dim: {item: n}}` and CI gates on a committed
+//! baseline: a tracked item dropping to zero is a corpus regression.
+//!
+//! Unlike the counter registry, dimensions and items are dynamic (the
+//! stanza-kind universe depends on the dialect tables in `mpa-config`,
+//! which this crate must not depend on), so the registry is a mutex-held
+//! `BTreeMap` rather than statics. All access happens at generation time
+//! on the merge pass, never on a per-line hot path.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+static REG: Mutex<BTreeMap<String, BTreeMap<String, u64>>> = Mutex::new(BTreeMap::new());
+
+/// Declare an item in a dimension with a zero count (idempotent; an
+/// existing count is preserved). Declaring the full universe first makes
+/// unexercised items visible in the report.
+pub fn declare(dimension: &str, item: &str) {
+    let mut reg = REG.lock().expect("coverage registry poisoned");
+    reg.entry(dimension.to_string())
+        .or_default()
+        .entry(item.to_string())
+        .or_insert(0);
+}
+
+/// Record `n` exercises of an item (declares it if needed).
+pub fn record(dimension: &str, item: &str, n: u64) {
+    let mut reg = REG.lock().expect("coverage registry poisoned");
+    *reg.entry(dimension.to_string()).or_default().entry(item.to_string()).or_insert(0) +=
+        n;
+}
+
+/// Snapshot the registry: dimensions and items in sorted order.
+pub fn snapshot() -> Vec<(String, Vec<(String, u64)>)> {
+    let reg = REG.lock().expect("coverage registry poisoned");
+    reg.iter()
+        .map(|(dim, items)| {
+            (dim.clone(), items.iter().map(|(k, v)| (k.clone(), *v)).collect())
+        })
+        .collect()
+}
+
+/// Clear the registry. Generation publishes a fresh scan per dataset;
+/// clearing first keeps reports from accumulating across runs in one
+/// process (tests generate several datasets).
+pub fn reset() {
+    REG.lock().expect("coverage registry poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_then_record_keeps_zeros_visible() {
+        reset();
+        declare("test_dim", "unexercised");
+        declare("test_dim", "exercised");
+        record("test_dim", "exercised", 3);
+        record("test_dim", "exercised", 2);
+        // Re-declaring must not clobber the count.
+        declare("test_dim", "exercised");
+        let snap = snapshot();
+        let dim = snap.iter().find(|(d, _)| d == "test_dim").unwrap();
+        assert_eq!(
+            dim.1,
+            vec![("exercised".to_string(), 5), ("unexercised".to_string(), 0)]
+        );
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

@@ -13,6 +13,11 @@
 //!   entire cost); every registered counter is deterministic and
 //!   thread-count invariant, which the CLI integration tests and the
 //!   pipeline bench enforce at 1/2/8 workers.
+//! * **Coverage** ([`coverage`]) — which parts of the scenario space a
+//!   generated corpus exercised (stanza kinds, change types, dialects,
+//!   degradation knobs). Items are declared up front and recorded when
+//!   exercised, so unexercised items surface as explicit zeros; CI gates
+//!   on a committed baseline.
 //! * **Spans** ([`span`]) — hierarchical wall-time regions. A span is a
 //!   no-op unless a collector is installed ([`install_collector`]), so
 //!   library and test callers pay one atomic load per span. The binaries
@@ -31,6 +36,7 @@
 //! counter.
 
 pub mod counters;
+pub mod coverage;
 pub mod gauges;
 pub mod json;
 mod report;

@@ -20,6 +20,9 @@ pub struct RunReport {
     pub counters: Vec<(&'static str, u64)>,
     /// Every registered gauge value, in registry order.
     pub gauges: Vec<(&'static str, u64)>,
+    /// Scenario coverage: per dimension, the exercised counts of every
+    /// declared item (zeros mark declared-but-unexercised items).
+    pub coverage: Vec<(String, Vec<(String, u64)>)>,
     /// Per-worker scheduling stats (thread-count dependent by design).
     pub sched: SchedSnapshot,
     /// The recorded span tree (drained from the collector).
@@ -37,6 +40,7 @@ impl RunReport {
             peak_rss_bytes: peak_rss_bytes(),
             counters: counters::snapshot(),
             gauges: gauges::snapshot(),
+            coverage: crate::coverage::snapshot(),
             sched: crate::sched::snapshot(),
             spans: take_spans(),
         }
@@ -55,6 +59,8 @@ impl RunReport {
         push_u64_object(&mut out, &self.counters, 2);
         out.push_str(",\n  \"gauges\": ");
         push_u64_object(&mut out, &self.gauges, 2);
+        out.push_str(",\n  \"coverage\": ");
+        push_coverage(&mut out, &self.coverage);
         out.push_str(",\n  \"scheduling\": {\n    \"worker_tasks\": ");
         push_u64_array(&mut out, &self.sched.worker_tasks);
         out.push_str(&format!(
@@ -78,6 +84,34 @@ impl RunReport {
     pub fn write(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+}
+
+fn push_coverage(out: &mut String, coverage: &[(String, Vec<(String, u64)>)]) {
+    out.push('{');
+    for (i, (dim, items)) in coverage.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        push_str_literal(out, dim);
+        out.push_str(": {");
+        for (j, (item, n)) in items.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      ");
+            push_str_literal(out, item);
+            out.push_str(&format!(": {n}"));
+        }
+        if !items.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push('}');
+    }
+    if !coverage.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
 }
 
 fn push_spans(out: &mut String, spans: &[SpanNode]) {
@@ -120,6 +154,10 @@ mod tests {
             peak_rss_bytes: 12345,
             counters: vec![("parse_cache_hits", 10), ("parse_cache_misses", 2)],
             gauges: vec![("exec_threads", 4)],
+            coverage: vec![(
+                "dialect".to_string(),
+                vec![("block-keyword".to_string(), 7), ("brace\"x".to_string(), 0)],
+            )],
             sched: SchedSnapshot {
                 worker_tasks: vec![7, 5],
                 parallel_regions: 3,
@@ -143,6 +181,8 @@ mod tests {
         assert!(json.contains("\"configured\": 4"));
         assert!(json.contains("\"parse_cache_hits\": 10"));
         assert!(json.contains("\"worker_tasks\": [7, 5]"));
+        assert!(json.contains("\"block-keyword\": 7"));
+        assert!(json.contains("\"brace\\\"x\": 0"));
         assert!(json.contains("\"effective_parallelism\": 1.500"));
         assert!(json.contains("\"max_region_workers\": 2"));
         assert!(json.contains("\"label\": \"infer \\\"x\\\"\""));

@@ -7,6 +7,7 @@
 //! must never read `ground_truth` — that field exists so tests and
 //! EXPERIMENTS.md can check what the analytics *should* find.
 
+use crate::degrade::DegradeStats;
 use crate::ops::MonthTruth;
 use mpa_config::{Archive, UserDirectory};
 use mpa_model::{Inventory, Network, NetworkId, StudyPeriod, Ticket};
@@ -36,6 +37,9 @@ pub struct Dataset {
     pub coverage: BTreeSet<(NetworkId, usize)>,
     /// Ground truth per network-month — for validation only.
     pub ground_truth: Vec<GroundTruth>,
+    /// What the degradation pass touched (all zeros for pristine
+    /// corpora); `kept + dropped == generated` by construction.
+    pub degrade: DegradeStats,
 }
 
 /// Table 2-style size summary.

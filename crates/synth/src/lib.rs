@@ -29,9 +29,18 @@
 //!   ground-truth table used only by validation tests and EXPERIMENTS.md.
 //! * [`scenario`] — presets: [`scenario::Scenario::paper`] (850+ networks ×
 //!   17 months), plus smaller fixtures for tests and benches.
+//! * [`degrade`] — seeded degradation knobs (missing snapshot windows,
+//!   truncated histories, clock skew, duplicate/corrupt tickets, ambiguous
+//!   logins) that re-introduce the mess the paper's real corpus has and
+//!   ours, by construction, lacks.
+//! * [`coverage`] — the scenario coverage scan: which stanza kinds, change
+//!   types, dialects and degradation knobs a generated corpus actually
+//!   exercised, published into the `mpa-obs` RunReport.
 
 pub mod catalog;
+pub mod coverage;
 pub mod dataset;
+pub mod degrade;
 pub mod health;
 pub mod netgen;
 pub mod ops;
@@ -39,7 +48,9 @@ pub mod profile;
 pub mod scenario;
 pub mod survey;
 
+pub use coverage::CoverageReport;
 pub use dataset::{Dataset, DatasetSummary, GroundTruth};
+pub use degrade::{DegradeSpec, DegradeStats};
 pub use health::HealthModel;
 pub use profile::{NetworkProfile, OrgConfig};
 pub use scenario::Scenario;

@@ -48,6 +48,9 @@ pub struct MonthTruth {
     pub n_device_changes: u32,
     /// Distinct vendor-agnostic change types touched.
     pub n_change_types: u32,
+    /// Which change types were touched, sorted (feeds the scenario
+    /// coverage report's `change_type` dimension).
+    pub change_types: Vec<ChangeType>,
     /// Mean devices per event (0 when no events).
     pub avg_event_size: f64,
     /// Fraction of events including an ACL change.
@@ -257,6 +260,7 @@ pub fn simulate_network<R: Rng>(
             n_events: n_events as u32,
             n_device_changes,
             n_change_types: types_touched.len() as u32,
+            change_types: types_touched.iter().copied().collect(),
             avg_event_size: monthly.avg_event_size,
             frac_acl_events: monthly.frac_acl_events,
             frac_iface_events: if n_events > 0 { f64::from(iface_events) / ev } else { 0.0 },

@@ -5,6 +5,7 @@
 //! benches fast while exercising identical code paths.
 
 use crate::dataset::Dataset;
+use crate::degrade::{degrade_network, DegradeSpec, DegradeStats};
 use crate::health::HealthModel;
 use crate::netgen::generate_network;
 use crate::ops::{simulate_network, SimConfig};
@@ -22,6 +23,10 @@ pub struct Scenario {
     pub org: OrgConfig,
     /// Ground-truth health model.
     pub health: HealthModel,
+    /// Degradation knobs applied after simulation (default: none, which
+    /// draws no RNG and leaves generation byte-identical to builds
+    /// without the degradation layer).
+    pub degrade: DegradeSpec,
 }
 
 impl Scenario {
@@ -37,6 +42,7 @@ impl Scenario {
                 noise_sigma: 0.15,
             },
             health: HealthModel::default(),
+            degrade: DegradeSpec::none(),
         }
     }
 
@@ -53,6 +59,7 @@ impl Scenario {
                 noise_sigma: 0.15,
             },
             health: HealthModel::default(),
+            degrade: DegradeSpec::none(),
         }
     }
 
@@ -68,6 +75,7 @@ impl Scenario {
                 noise_sigma: 0.15,
             },
             health: HealthModel::default(),
+            degrade: DegradeSpec::none(),
         }
     }
 
@@ -83,12 +91,37 @@ impl Scenario {
                 noise_sigma: 0.15,
             },
             health: HealthModel::default(),
+            degrade: DegradeSpec::none(),
+        }
+    }
+
+    /// A deliberately messy 2-network corpus for the degraded golden
+    /// fixture: heavy degradation over a small fleet, so the golden files
+    /// stay reviewable while every knob fires.
+    pub fn degraded_demo() -> Self {
+        Self {
+            org: OrgConfig {
+                seed: 0x4D50_4744, // "MPGD"
+                n_networks: 2,
+                n_months: 4,
+                n_services: 8,
+                missing_month_rate: 0.15,
+                noise_sigma: 0.15,
+            },
+            health: HealthModel::default(),
+            degrade: DegradeSpec::heavy(),
         }
     }
 
     /// Override the seed (e.g., for robustness checks across datasets).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.org.seed = seed;
+        self
+    }
+
+    /// Override the degradation knobs.
+    pub fn with_degrade(mut self, degrade: DegradeSpec) -> Self {
+        self.degrade = degrade;
         self
     }
 
@@ -134,7 +167,7 @@ impl Scenario {
             let mut next_device_id = base;
             let mut gen = generate_network(profile, &mut next_device_id, &mut rng);
             let mut local_ticket_seq = 0u32;
-            let out = simulate_network(
+            let mut out = simulate_network(
                 &mut gen,
                 profile,
                 &period,
@@ -143,6 +176,14 @@ impl Scenario {
                 &mut local_ticket_seq,
                 &mut rng,
             );
+            // Degrade on the worker, continuing the same per-network RNG
+            // stream — deterministic at any thread count. Inactive specs
+            // draw nothing, keeping pristine runs byte-identical.
+            let degrade_stats = if self.degrade.is_active() {
+                degrade_network(&mut out, &self.degrade, &period, &mut rng)
+            } else {
+                DegradeStats::default()
+            };
             // Inventory rows (site strings are pure functions of the ids)
             // are built here, on the workers, so the merge pass below is
             // pure bookkeeping; dropping `gen.configs` on the worker also
@@ -156,7 +197,7 @@ impl Scenario {
                     InventoryRecord::from_device(d, site)
                 })
                 .collect();
-            (gen.network, records, out)
+            (gen.network, records, out, degrade_stats)
         });
 
         let mut ticket_seq = 0u32;
@@ -167,7 +208,9 @@ impl Scenario {
         let mut coverage = std::collections::BTreeSet::new();
         let mut ground_truth = Vec::new();
 
-        for (network, records, out) in per_network {
+        let mut degrade_total = DegradeStats::default();
+        for (network, records, out, degrade_stats) in per_network {
+            degrade_total.add(&degrade_stats);
             inventory_records.extend(records);
             archives.push(out.archive);
             // Re-key the per-network ticket sequences into one dense
@@ -195,6 +238,18 @@ impl Scenario {
         let directory =
             UserDirectory::new(["svc-netauto".to_string(), "svc-deploy".to_string()]);
 
+        // Surface the degradation accounting as obs counters (summed on
+        // this sequential merge pass, so the totals are thread-invariant
+        // like every other registered counter).
+        mpa_obs::counters::DEGRADE_SNAPSHOTS_GENERATED.add(degrade_total.snapshots_generated);
+        mpa_obs::counters::DEGRADE_SNAPSHOTS_DROPPED.add(degrade_total.snapshots_dropped());
+        mpa_obs::counters::DEGRADE_SNAPSHOTS_KEPT.add(degrade_total.snapshots_kept());
+        mpa_obs::counters::DEGRADE_SNAPSHOTS_REORDERED.add(degrade_total.snapshots_reordered);
+        mpa_obs::counters::DEGRADE_LOGINS_AMBIGUATED.add(degrade_total.logins_ambiguated);
+        mpa_obs::counters::DEGRADE_TICKETS_GENERATED.add(degrade_total.tickets_generated);
+        mpa_obs::counters::DEGRADE_TICKETS_DUPLICATED.add(degrade_total.tickets_duplicated);
+        mpa_obs::counters::DEGRADE_TICKETS_CORRUPTED.add(degrade_total.tickets_corrupted);
+
         Dataset {
             period,
             networks,
@@ -204,6 +259,7 @@ impl Scenario {
             directory,
             coverage,
             ground_truth,
+            degrade: degrade_total,
         }
     }
 }

@@ -7,6 +7,8 @@
 use mpa::analytics::exec;
 use mpa::metrics::DELTA_DEFAULT_MINUTES;
 use mpa::prelude::*;
+use mpa::synth::DegradeSpec;
+use proptest::prelude::*;
 
 #[test]
 fn delta_and_full_inference_agree_at_1_2_and_8_threads() {
@@ -34,4 +36,49 @@ fn delta_and_full_inference_agree_at_1_2_and_8_threads() {
         }
     }
     exec::set_threads(saved);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The equivalence must also hold on *degraded* corpora: missing
+    // snapshot windows, truncated histories, clock-skewed (re-sorted)
+    // timestamps, duplicate/corrupt tickets and ambiguous logins, over
+    // both dialects and arbitrary seeds. Neither engine may panic, and
+    // the degradation accounting must balance exactly.
+    #[test]
+    fn delta_and_full_agree_on_degraded_corpora(
+        seed in 0u64..10_000,
+        knobs in (
+            0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64,
+            0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64,
+        ),
+    ) {
+        let spec = DegradeSpec {
+            miss_window: knobs.0,
+            truncate: knobs.1,
+            reorder: knobs.2,
+            dup_ticket: knobs.3,
+            corrupt_ticket: knobs.4,
+            ambiguous_login: knobs.5,
+        };
+        let dataset = Scenario::tiny().with_seed(seed).with_degrade(spec).generate();
+        let st = &dataset.degrade;
+        prop_assert_eq!(
+            st.snapshots_kept() + st.snapshots_dropped(),
+            st.snapshots_generated
+        );
+        prop_assert_eq!(st.snapshots_kept(), dataset.archive.n_snapshots() as u64);
+        prop_assert_eq!(
+            st.tickets_generated + st.tickets_duplicated,
+            dataset.tickets.len() as u64
+        );
+
+        let full = infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, InferMode::Full);
+        let delta = infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, InferMode::Delta);
+        prop_assert_eq!(&full.device_changes, &delta.device_changes);
+        let full_json = serde_json::to_string(&full.table).expect("serializes");
+        let delta_json = serde_json::to_string(&delta.table).expect("serializes");
+        prop_assert_eq!(full_json, delta_json);
+    }
 }
