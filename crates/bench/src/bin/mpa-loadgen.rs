@@ -1,0 +1,89 @@
+//! `mpa-loadgen` — closed-loop load generator for a live `mpa-serve`.
+//!
+//! ```text
+//! mpa-loadgen --addr HOST:PORT [--clients N] [--requests N]
+//!             [--ingest-every N] [--ticket-id-base N] [--out FILE]
+//! ```
+//!
+//! Drives the daemon with a deterministic endpoint mix steered by its own
+//! `/healthz` metadata, mixing one POST `/ingest` into every
+//! `--ingest-every`-th request (0 disables ingest). Writes the
+//! [`mpa_bench::ServeBench`] artifact (`BENCH_serve.json`) when `--out`
+//! is given and exits 1 if **any** response fell outside the 2xx class —
+//! CI gates on the exit code alone.
+
+use mpa_bench::{run_load, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpa-loadgen --addr HOST:PORT [--clients N] [--requests N] \
+         [--ingest-every N] [--ticket-id-base N] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> T {
+    v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a number, got {v:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LoadConfig::default();
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().cloned(),
+            "--clients" => cfg.clients = parse_num("--clients", it.next()),
+            "--requests" => cfg.requests = parse_num("--requests", it.next()),
+            "--ingest-every" => cfg.ingest_every = parse_num("--ingest-every", it.next()),
+            "--ticket-id-base" => cfg.ticket_id_base = parse_num("--ticket-id-base", it.next()),
+            "--out" => out = it.next().cloned(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("--addr is required");
+        usage();
+    };
+    cfg.addr = addr;
+
+    let bench = run_load(&cfg).unwrap_or_else(|e| {
+        eprintln!("[mpa-loadgen] run failed: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[mpa-loadgen] {} requests ({} ingests) over {} client(s): \
+         {:.1} req/s, p50 {} us, p99 {} us, max {} us, non-2xx {}, \
+         events applied {}",
+        bench.requests,
+        bench.ingests,
+        bench.clients,
+        bench.qps,
+        bench.p50_us,
+        bench.p99_us,
+        bench.max_us,
+        bench.non_2xx,
+        bench.events_applied
+    );
+    if let Some(path) = &out {
+        let json = serde_json::to_string(&bench).expect("bench serializes");
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[mpa-loadgen] wrote {path}");
+    }
+    if bench.non_2xx > 0 {
+        eprintln!("[mpa-loadgen] FAIL: {} non-2xx responses", bench.non_2xx);
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,11 @@
 //! and at the full worker count, cross-checks that both produced identical
 //! results, and writes the JSON artifact (`BENCH_pipeline.json`); each run
 //! also records its observability counter deltas (see `mpa_obs`).
+//! Each thread count executes in a **fresh child process** (re-invoking
+//! this binary with the hidden `--bench-single N` flag) so every recorded
+//! peak RSS is a true per-configuration figure — `VmHWM` is monotone per
+//! process, and back-to-back in-process runs used to smear the baseline
+//! run's allocator high-water into the wider runs' "peaks".
 //!
 //! `--obs-out FILE` writes an [`mpa_obs::RunReport`] (span tree, counters,
 //! scheduling stats, peak RSS) when the process finishes.
@@ -31,6 +36,10 @@ fn main() {
     let mut obs_out: Option<String> = None;
     let mut infer_mode = InferMode::default();
     let mut degrade = DegradeSpec::none();
+    // Raw flag values, kept verbatim for re-invoking self as a bench child.
+    let mut scale_raw = "medium".to_string();
+    let mut degrade_raw: Option<String> = None;
+    let mut bench_single: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -41,6 +50,7 @@ fn main() {
                     eprintln!("--degrade: {e}");
                     std::process::exit(2);
                 });
+                degrade_raw = Some(v.to_string());
             }
             "--infer-mode" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
@@ -51,6 +61,7 @@ fn main() {
             }
             "--scale" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
+                scale_raw = v.to_string();
                 scale = match v {
                     "tiny" => FixtureScale::Tiny,
                     "small" => FixtureScale::Small,
@@ -64,6 +75,16 @@ fn main() {
             }
             "--out" => out_dir = it.next().cloned(),
             "--bench-out" => bench_out = it.next().cloned(),
+            // Hidden: run ONE bench configuration in this process and
+            // print the SingleRun JSON on stdout. The parent `--bench-out`
+            // invocation spawns one child per thread count so each
+            // configuration gets a fresh VmHWM.
+            "--bench-single" => {
+                bench_single = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--bench-single needs a thread count");
+                    std::process::exit(2);
+                }));
+            }
             "--obs-out" => obs_out = it.next().cloned(),
             "--threads" => {
                 let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -80,6 +101,17 @@ fn main() {
         mpa_obs::install_collector();
     }
 
+    // Child mode: one configuration in a fresh process, JSON on stdout.
+    if let Some(threads) = bench_single {
+        let single = mpa_bench::run_pipeline_single(
+            &scale.scenario().with_degrade(degrade),
+            threads,
+            infer_mode,
+        );
+        println!("{}", serde_json::to_string(&single).expect("single serializes"));
+        return;
+    }
+
     if let Some(path) = &bench_out {
         let threads = mpa_exec::threads();
         let counts: Vec<usize> = if threads > 1 { vec![1, threads] } else { vec![1] };
@@ -87,13 +119,18 @@ fn main() {
         let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         eprintln!(
             "[mpa] pipeline bench: scale {scale:?}, thread counts {counts:?} \
-             ({host_cores} cores available), infer mode {}",
+             ({host_cores} cores available), infer mode {}, one child process \
+             per configuration",
             infer_mode.label()
         );
-        let bench = mpa_bench::run_pipeline_bench_with_mode(
+        let singles: Vec<mpa_bench::SingleRun> = counts
+            .iter()
+            .map(|&n| run_bench_child(n, &scale_raw, infer_mode, degrade_raw.as_deref()))
+            .collect();
+        let bench = mpa_bench::assemble_pipeline_bench(
             &scale.scenario().with_degrade(degrade),
-            &counts,
             infer_mode,
+            &singles,
         );
         let json = serde_json::to_string(&bench).expect("bench serializes");
         std::fs::write(path, &json).unwrap_or_else(|e| {
@@ -121,36 +158,33 @@ fn main() {
         // A speedup figure is only honest when the widest run actually
         // achieved concurrency. On a one-core or oversubscribed host the
         // measured occupancy sits near 1 however many workers were
-        // spawned, and "0.97x speedup" would read as a regression — so
-        // refuse to print one and say why instead.
+        // spawned, and "0.97x" would read as a pipeline regression — so
+        // every phase line carries the caveat (a reader quoting any single
+        // line must get the context with it), and the artifact records it
+        // as `occupancy_limited`.
         let widest = bench.runs.last().expect("at least one run");
-        if widest.threads > 1 && widest.effective_parallelism < 1.25 {
-            eprintln!(
-                "[mpa]   speedup caveat: the {}-thread run achieved effective \
-                 parallelism {:.2} (workers were time-sliced, not concurrent), so the \
-                 measured total ratio {:.2}x (generate {:.2}x, infer {:.2}x, mi {:.2}x) \
-                 reflects occupancy, not the pipeline; \
-                 deterministic: {} -> wrote {path}",
-                widest.threads,
-                widest.effective_parallelism,
-                bench.speedup,
-                bench.generate_speedup,
-                bench.infer_speedup,
-                bench.mi_ranking_speedup,
-                bench.deterministic
-            );
+        let caveat = if bench.occupancy_limited {
+            format!(
+                " [occupancy-limited: effective parallelism {:.2} at {} threads — \
+                 this ratio reflects host occupancy, not pipeline scaling]",
+                widest.effective_parallelism, widest.threads
+            )
         } else {
-            eprintln!(
-                "[mpa]   speedup {:.2}x total (generate {:.2}x, infer {:.2}x, mi {:.2}x, \
-                 effective parallelism {:.2}), deterministic: {} -> wrote {path}",
-                bench.speedup,
-                bench.generate_speedup,
-                bench.infer_speedup,
-                bench.mi_ranking_speedup,
-                widest.effective_parallelism,
-                bench.deterministic
-            );
+            String::new()
+        };
+        for (phase, ratio) in [
+            ("total", bench.speedup),
+            ("generate", bench.generate_speedup),
+            ("infer", bench.infer_speedup),
+            ("mi_ranking", bench.mi_ranking_speedup),
+        ] {
+            eprintln!("[mpa]   speedup {phase} {ratio:.2}x{caveat}");
         }
+        eprintln!(
+            "[mpa]   effective parallelism {:.2}, occupancy_limited: {}, \
+             deterministic: {} -> wrote {path}",
+            widest.effective_parallelism, bench.occupancy_limited, bench.deterministic
+        );
         if targets.is_empty() {
             write_obs_report(obs_out.as_deref());
             return;
@@ -209,6 +243,46 @@ fn main() {
         }
     }
     write_obs_report(obs_out.as_deref());
+}
+
+/// Run one bench configuration in a fresh child process (`--bench-single`)
+/// and parse its stdout. A fresh process per thread count is what makes
+/// `peak_rss_mib` a per-configuration figure: `VmHWM` is monotone, so a
+/// shared process would carry the baseline run's high-water into every
+/// later run.
+fn run_bench_child(
+    threads: usize,
+    scale_raw: &str,
+    infer_mode: InferMode,
+    degrade_raw: Option<&str>,
+) -> mpa_bench::SingleRun {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary for bench child: {e}");
+        std::process::exit(1);
+    });
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(["--bench-single", &threads.to_string(), "--scale", scale_raw])
+        .args(["--infer-mode", infer_mode.label()]);
+    if let Some(d) = degrade_raw {
+        cmd.args(["--degrade", d]);
+    }
+    let out = cmd.output().unwrap_or_else(|e| {
+        eprintln!("bench child ({threads} threads) failed to start: {e}");
+        std::process::exit(1);
+    });
+    if !out.status.success() {
+        eprintln!(
+            "bench child ({threads} threads) exited with {}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::process::exit(1);
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    serde_json::from_str(stdout.trim()).unwrap_or_else(|e| {
+        eprintln!("bench child ({threads} threads) emitted unparsable output: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// Write the run report if `--obs-out` was given. Called on every normal

@@ -5,16 +5,37 @@
 //! counts, and cross-checks that every run produced identical results
 //! (the engine's core guarantee). `repro --bench-out FILE` writes the
 //! result as `BENCH_pipeline.json`.
+//!
+//! ## One process per configuration
+//!
+//! Peak RSS comes from the kernel's `VmHWM`, which is **monotone across a
+//! process's life**: running 1-thread then 8-thread back to back in one
+//! process makes the second figure inherit the first run's freed-but-
+//! retained allocator high-water (the committed artifact once showed an
+//! 8-thread "peak" of 1275 MiB against a 680 MiB baseline for this exact
+//! reason). The benchmark is therefore split into [`run_pipeline_single`]
+//! (one configuration, returns a JSON-serializable [`SingleRun`]) and
+//! [`assemble_pipeline_bench`] (combines runs into the artifact), so
+//! `repro` can execute each thread count in a **fresh child process** and
+//! reassemble in the parent — every `peak_rss_mib` is then a true
+//! per-configuration figure. [`run_pipeline_bench`] keeps the in-process
+//! path for tests and library callers who only need timings.
 
 use mpa_metrics::pipeline::{infer_with_mode, InferMode};
 use mpa_metrics::DELTA_DEFAULT_MINUTES;
 use mpa_synth::Scenario;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+/// Below this measured effective parallelism, a multi-thread run's workers
+/// were time-sliced rather than concurrent, and its speedup figures
+/// describe host occupancy, not the pipeline (see `PipelineBench::
+/// occupancy_limited`).
+pub const OCCUPANCY_LIMITED_BELOW: f64 = 1.25;
+
 /// One timed run of the pipeline at a fixed thread count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineRun {
     /// Worker threads used.
     pub threads: usize,
@@ -26,9 +47,9 @@ pub struct PipelineRun {
     pub mi_ranking_s: f64,
     /// Sum of the phases.
     pub total_s: f64,
-    /// Process peak RSS (VmHWM) in MiB at the end of this run. The kernel's
-    /// high-water mark is monotone across a process's life, so the first
-    /// run's figure is the meaningful per-configuration peak.
+    /// Process peak RSS (VmHWM) in MiB at the end of this run. Only a true
+    /// per-configuration figure when the run had the process to itself —
+    /// which is why `repro` executes each thread count in its own child.
     pub peak_rss_mib: f64,
     /// Measured effective parallelism of this run: summed worker CPU time
     /// over region wall time across every region that fanned out (see
@@ -41,6 +62,23 @@ pub struct PipelineRun {
     /// are thread-invariant, so these figures should match across the runs
     /// of one bench — a cheap cross-check on top of the output fingerprint.
     pub counters: BTreeMap<String, u64>,
+}
+
+/// One run plus the cross-run comparison data, JSON-serializable so the
+/// parent `repro` process can collect child runs over a pipe and
+/// reassemble the artifact with [`assemble_pipeline_bench`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleRun {
+    /// The timed run.
+    pub run: PipelineRun,
+    /// FNV-1a-64 hex fingerprint of the run's outputs (dataset summary,
+    /// case count, MI ranking) — stable across processes, unlike
+    /// `DefaultHasher`.
+    pub fingerprint: String,
+    /// Total configuration text bytes the archive represents.
+    pub archive_total_bytes: usize,
+    /// Bytes held by the delta-encoded representation.
+    pub archive_text_bytes: usize,
 }
 
 /// The full benchmark artifact (`BENCH_pipeline.json`).
@@ -77,6 +115,12 @@ pub struct PipelineBench {
     pub infer_speedup: f64,
     /// MI-ranking-phase ratio of the baseline to the widest run.
     pub mi_ranking_speedup: f64,
+    /// True when the widest run's measured effective parallelism fell
+    /// below [`OCCUPANCY_LIMITED_BELOW`]: its workers were time-sliced,
+    /// so every speedup figure in this artifact reflects host occupancy
+    /// rather than pipeline scaling. Readers (and `repro`'s stderr
+    /// reporting) must carry this caveat with each per-phase figure.
+    pub occupancy_limited: bool,
     /// Distinct snapshot states / snapshots visited during inference
     /// (`parse_cache_misses / parse_snapshots_visited` of the baseline
     /// run): the fraction of replayed snapshots the dedup-before-
@@ -100,85 +144,70 @@ pub fn peak_rss_bytes() -> usize {
         .map_or(0, |kib| kib * 1024)
 }
 
-/// Run the pipeline at each thread count with the default (delta-native)
-/// inference engine and compare outputs.
-///
-/// The first entry of `thread_counts` is the baseline for the speedup
-/// figure; pass `[1, n]` for the canonical sequential-vs-parallel number.
-pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> PipelineBench {
-    run_pipeline_bench_with_mode(scenario, thread_counts, InferMode::default())
+/// 64-bit FNV-1a. A stable, dependency-free content hash for comparing
+/// run outputs across process boundaries (`DefaultHasher` is seeded per
+/// process by design).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
-/// Run the pipeline at each thread count with an explicit inference
-/// engine; see [`run_pipeline_bench`].
-pub fn run_pipeline_bench_with_mode(
-    scenario: &Scenario,
-    thread_counts: &[usize],
-    mode: InferMode,
-) -> PipelineBench {
-    assert!(!thread_counts.is_empty(), "need at least one thread count");
+/// Run the pipeline once at `threads` workers and fingerprint the output.
+/// Restores the previously configured thread count before returning.
+pub fn run_pipeline_single(scenario: &Scenario, threads: usize, mode: InferMode) -> SingleRun {
     let saved = mpa_exec::threads();
-    let mut runs = Vec::with_capacity(thread_counts.len());
-    let mut reference: Option<(String, usize, String)> = None;
-    let mut deterministic = true;
-    let mut archive_total_bytes = 0;
-    let mut archive_text_bytes = 0;
+    mpa_exec::set_threads(threads);
+    let counters_before = mpa_obs::counters::snapshot();
+    let sched_before = mpa_obs::sched::snapshot();
 
-    for &threads in thread_counts {
-        mpa_exec::set_threads(threads);
-        let counters_before = mpa_obs::counters::snapshot();
-        let sched_before = mpa_obs::sched::snapshot();
+    // Each phase is also wrapped in an obs span (free when no collector
+    // is installed) so a `repro --bench-out ... --obs-out ...` run
+    // reports its span tree alongside the timings below.
+    let run_label = format!("bench_{threads}_threads");
+    let (dataset, inference, mi, generate_s, infer_s, mi_ranking_s) =
+        mpa_obs::span(&run_label, || {
+            let t0 = Instant::now();
+            let dataset = mpa_obs::span("generate", || scenario.generate());
+            let generate_s = t0.elapsed().as_secs_f64();
 
-        // Each phase is also wrapped in an obs span (free when no collector
-        // is installed) so a `repro --bench-out ... --obs-out ...` run
-        // reports its span tree alongside the timings below.
-        let run_label = format!("bench_{threads}_threads");
-        let (dataset, inference, mi, generate_s, infer_s, mi_ranking_s) =
-            mpa_obs::span(&run_label, || {
-                let t0 = Instant::now();
-                let dataset = mpa_obs::span("generate", || scenario.generate());
-                let generate_s = t0.elapsed().as_secs_f64();
-
-                let t1 = Instant::now();
-                let inference = mpa_obs::span("infer", || {
-                    infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, mode)
-                });
-                let infer_s = t1.elapsed().as_secs_f64();
-
-                let t2 = Instant::now();
-                let mi =
-                    mpa_obs::span("mi_ranking", || mpa_core::mi_ranking(&inference.table, 20));
-                let mi_ranking_s = t2.elapsed().as_secs_f64();
-                (dataset, inference, mi, generate_s, infer_s, mi_ranking_s)
+            let t1 = Instant::now();
+            let inference = mpa_obs::span("infer", || {
+                infer_with_mode(&dataset, DELTA_DEFAULT_MINUTES, mode)
             });
+            let infer_s = t1.elapsed().as_secs_f64();
 
-        // Fingerprint the outputs; any divergence across thread counts is
-        // a determinism bug, which the artifact should loudly record.
-        let fingerprint = (
-            format!("{:?}", dataset.summary()),
-            inference.table.n_cases(),
-            format!("{mi:?}"),
-        );
-        match &reference {
-            None => reference = Some(fingerprint),
-            Some(r) => deterministic &= *r == fingerprint,
-        }
-        archive_total_bytes = dataset.archive.total_bytes();
-        archive_text_bytes = dataset.archive.text_bytes();
+            let t2 = Instant::now();
+            let mi = mpa_obs::span("mi_ranking", || mpa_core::mi_ranking(&inference.table, 20));
+            let mi_ranking_s = t2.elapsed().as_secs_f64();
+            (dataset, inference, mi, generate_s, infer_s, mi_ranking_s)
+        });
 
-        let counters_after = mpa_obs::counters::snapshot();
-        let counters = mpa_obs::counters::snapshot_diff(&counters_before, &counters_after)
-            .into_iter()
-            .map(|(name, v)| (name.to_string(), v))
-            .collect();
-        // Occupancy attributed to this run: the busy/wall deltas over the
-        // regions that ran between the two sched snapshots.
-        let sched_after = mpa_obs::sched::snapshot();
-        let busy = sched_after.region_busy_ns.saturating_sub(sched_before.region_busy_ns);
-        let wall = sched_after.region_wall_ns.saturating_sub(sched_before.region_wall_ns);
-        let effective_parallelism = if wall == 0 { 1.0 } else { busy as f64 / wall as f64 };
+    // Fingerprint the outputs; any divergence across thread counts (or
+    // across the child processes of a multi-process bench) is a
+    // determinism bug, which the artifact should loudly record.
+    let mut content = format!("{:?}", dataset.summary());
+    content.push_str(&inference.table.n_cases().to_string());
+    content.push_str(&format!("{mi:?}"));
+    let fingerprint = format!("{:016x}", fnv1a64(content.as_bytes()));
 
-        runs.push(PipelineRun {
+    let counters_after = mpa_obs::counters::snapshot();
+    let counters = mpa_obs::counters::snapshot_diff(&counters_before, &counters_after)
+        .into_iter()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    // Occupancy attributed to this run: the busy/wall deltas over the
+    // regions that ran between the two sched snapshots.
+    let sched_after = mpa_obs::sched::snapshot();
+    let busy = sched_after.region_busy_ns.saturating_sub(sched_before.region_busy_ns);
+    let wall = sched_after.region_wall_ns.saturating_sub(sched_before.region_wall_ns);
+    let effective_parallelism = if wall == 0 { 1.0 } else { busy as f64 / wall as f64 };
+
+    let single = SingleRun {
+        run: PipelineRun {
             threads,
             generate_s,
             infer_s,
@@ -187,9 +216,26 @@ pub fn run_pipeline_bench_with_mode(
             peak_rss_mib: peak_rss_bytes() as f64 / (1024.0 * 1024.0),
             effective_parallelism,
             counters,
-        });
-    }
+        },
+        fingerprint,
+        archive_total_bytes: dataset.archive.total_bytes(),
+        archive_text_bytes: dataset.archive.text_bytes(),
+    };
     mpa_exec::set_threads(saved);
+    single
+}
+
+/// Combine per-configuration runs (in thread-count submission order; the
+/// first is the speedup baseline, the last the widest) into the
+/// `BENCH_pipeline.json` artifact.
+pub fn assemble_pipeline_bench(
+    scenario: &Scenario,
+    mode: InferMode,
+    singles: &[SingleRun],
+) -> PipelineBench {
+    assert!(!singles.is_empty(), "need at least one run");
+    let deterministic = singles.iter().all(|s| s.fingerprint == singles[0].fingerprint);
+    let runs: Vec<PipelineRun> = singles.iter().map(|s| s.run.clone()).collect();
 
     // True measured ratio: baseline (1-thread) time over the *widest* run's
     // time, never clamped. A value below 1.0 is a real slowdown and must be
@@ -207,24 +253,57 @@ pub fn run_pipeline_bench_with_mode(
         let distinct = c.get("parse_cache_misses").copied().unwrap_or(0);
         if visited > 0 { distinct as f64 / visited as f64 } else { 1.0 }
     };
+    let widest = runs.last().expect("at least one run");
+    let occupancy_limited =
+        widest.threads > 1 && widest.effective_parallelism < OCCUPANCY_LIMITED_BELOW;
     // mpa-lint: allow(R4) -- host core count is bench-artifact metadata (available_cores); it never reaches pipeline output
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let max_threads = runs.iter().map(|r| r.threads).max().unwrap_or(1);
     PipelineBench {
         networks: scenario.org.n_networks,
         months: scenario.org.n_months,
         available_cores: host_cores.max(max_threads),
-        archive_total_bytes,
-        archive_text_bytes,
+        archive_total_bytes: singles.last().expect("non-empty").archive_total_bytes,
+        archive_text_bytes: singles.last().expect("non-empty").archive_text_bytes,
         infer_mode: mode.label().to_string(),
         speedup: phase_speedup(|r| r.total_s),
         generate_speedup: phase_speedup(|r| r.generate_s),
         infer_speedup: phase_speedup(|r| r.infer_s),
         mi_ranking_speedup: phase_speedup(|r| r.mi_ranking_s),
+        occupancy_limited,
         snapshot_dedup_ratio: dedup_ratio,
         runs,
         deterministic,
     }
+}
+
+/// Run the pipeline at each thread count with the default (delta-native)
+/// inference engine and compare outputs.
+///
+/// The first entry of `thread_counts` is the baseline for the speedup
+/// figure; pass `[1, n]` for the canonical sequential-vs-parallel number.
+pub fn run_pipeline_bench(scenario: &Scenario, thread_counts: &[usize]) -> PipelineBench {
+    run_pipeline_bench_with_mode(scenario, thread_counts, InferMode::default())
+}
+
+/// Run the pipeline at each thread count with an explicit inference
+/// engine; see [`run_pipeline_bench`].
+///
+/// All runs share this process, so later entries' `peak_rss_mib` inherit
+/// earlier runs' allocator high-water (`VmHWM` is monotone). For honest
+/// per-configuration RSS use `repro --bench-out`, which runs each count
+/// in a fresh child via [`run_pipeline_single`].
+pub fn run_pipeline_bench_with_mode(
+    scenario: &Scenario,
+    thread_counts: &[usize],
+    mode: InferMode,
+) -> PipelineBench {
+    assert!(!thread_counts.is_empty(), "need at least one thread count");
+    let singles: Vec<SingleRun> = thread_counts
+        .iter()
+        .map(|&threads| run_pipeline_single(scenario, threads, mode))
+        .collect();
+    assemble_pipeline_bench(scenario, mode, &singles)
 }
 
 #[cfg(test)]
@@ -305,6 +384,62 @@ mod tests {
             "effective_parallelism missing from artifact"
         );
         assert_eq!(run_pipeline_bench(&Scenario::tiny(), &[1]).infer_mode, "delta");
+    }
+
+    #[test]
+    fn single_runs_round_trip_through_json_and_reassemble() {
+        // The multi-process bench path: children serialize SingleRun to
+        // stdout, the parent deserializes and assembles. The round trip
+        // and the assembly must preserve the runs and the determinism
+        // verdict.
+        let scenario = Scenario::tiny();
+        let singles: Vec<SingleRun> = [1usize, 2]
+            .iter()
+            .map(|&t| {
+                let s = run_pipeline_single(&scenario, t, InferMode::default());
+                let json = serde_json::to_string(&s).expect("single serializes");
+                serde_json::from_str(&json).expect("single round-trips")
+            })
+            .collect();
+        assert_eq!(singles[0].fingerprint.len(), 16, "fnv1a64 hex");
+        assert_eq!(
+            singles[0].fingerprint, singles[1].fingerprint,
+            "same scenario, same output, same fingerprint"
+        );
+        let bench = assemble_pipeline_bench(&scenario, InferMode::default(), &singles);
+        assert!(bench.deterministic);
+        assert_eq!(bench.runs.len(), 2);
+        assert_eq!(bench.runs[1].threads, 2);
+        let json = serde_json::to_string(&bench).expect("serializes");
+        assert!(json.contains("\"occupancy_limited\""), "caveat flag missing from artifact");
+    }
+
+    #[test]
+    fn occupancy_limited_reflects_the_widest_runs_measured_parallelism() {
+        let scenario = Scenario::tiny();
+        let mut singles =
+            vec![run_pipeline_single(&scenario, 1, InferMode::default())];
+        singles.push(run_pipeline_single(&scenario, 2, InferMode::default()));
+        // Force both verdicts rather than depending on the host.
+        singles[1].run.effective_parallelism = 1.0;
+        let limited = assemble_pipeline_bench(&scenario, InferMode::default(), &singles);
+        assert!(limited.occupancy_limited, "parallelism 1.0 at 2 threads is occupancy-limited");
+        singles[1].run.effective_parallelism = 1.9;
+        let scaling = assemble_pipeline_bench(&scenario, InferMode::default(), &singles);
+        assert!(!scaling.occupancy_limited, "parallelism 1.9 at 2 threads is real concurrency");
+        // A single-threaded-only bench is never "limited": there was no
+        // concurrency claim to caveat.
+        let solo = assemble_pipeline_bench(&scenario, InferMode::default(), &singles[..1]);
+        assert!(!solo.occupancy_limited);
+    }
+
+    #[test]
+    fn fnv1a64_is_stable() {
+        // Known FNV-1a test vectors: the hash must never change across
+        // builds or hosts, or cross-process determinism checks break.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

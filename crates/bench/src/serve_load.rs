@@ -1,0 +1,383 @@
+//! Closed-loop HTTP load generator for the `mpa-serve` daemon.
+//!
+//! Each client thread holds one keep-alive HTTP/1.1 connection and issues
+//! its share of the request budget back-to-back (closed loop: the next
+//! request starts only when the previous response has been fully read).
+//! The endpoint mix is derived deterministically from the global request
+//! index, seeded by the daemon's own `/healthz` metadata — network ids and
+//! the observation period come from the resident corpus, so the generator
+//! needs no out-of-band knowledge of the dataset.
+//!
+//! Every `ingest_every`-th request POSTs a fresh synthetic ticket (ids
+//! allocated far above any generated corpus), exercising the write path
+//! under concurrent reads. The run fails — nonzero `non_2xx` — if any
+//! response falls outside the 2xx class, so CI can gate on it directly.
+//!
+//! The artifact ([`ServeBench`], written as `BENCH_serve.json`) records
+//! throughput and latency percentiles computed the same way the daemon's
+//! own drain-time gauges are: sorted `u64` microseconds, `len/2` and
+//! `len*99/100` indices. Integer-microsecond latencies keep the artifact
+//! byte-stable across runs that happen to tie.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Ticket ids minted by the generator start here — far above anything a
+/// generated corpus contains, so repeated ingests never collide with
+/// corpus tickets (only with a *re-run* against the same daemon, which is
+/// why the base is configurable).
+pub const INGEST_ID_BASE: u32 = 50_000_000;
+
+/// Load run configuration (mirrors the `mpa-loadgen` CLI flags).
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Daemon address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Number of concurrent closed-loop client connections.
+    pub clients: usize,
+    /// Total request budget across all clients.
+    pub requests: usize,
+    /// POST one ticket ingest every Nth request (0 disables ingest).
+    pub ingest_every: usize,
+    /// First ticket id to mint (monotone per ingest request).
+    pub ticket_id_base: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            clients: 4,
+            requests: 400,
+            ingest_every: 50,
+            ticket_id_base: INGEST_ID_BASE,
+        }
+    }
+}
+
+/// The `BENCH_serve.json` artifact: one closed-loop run against a
+/// resident daemon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests actually issued (GETs + ingests).
+    pub requests: usize,
+    /// How many of those were POST `/ingest`.
+    pub ingests: usize,
+    /// Responses outside the 2xx class — any nonzero value fails the run.
+    pub non_2xx: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Requests per second (requests / wall_s).
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+    /// `events_applied` reported by the daemon after the run — confirms
+    /// every accepted ingest landed in the resident session.
+    pub events_applied: u64,
+}
+
+/// The `/healthz` fields the generator steers by (unknown fields in the
+/// response are ignored by the vendored serde).
+#[derive(Debug, Clone, Deserialize)]
+struct HealthzMeta {
+    period_total_minutes: u64,
+    network_ids: Vec<u32>,
+    events_applied: u64,
+}
+
+/// The `/networks/:id/practices` fields used to discover real cases.
+/// The case table is sparse — not every `(network, month)` pair has a
+/// case — so `/predict` targets are drawn from this pool, never guessed.
+#[derive(Debug, Clone, Deserialize)]
+struct PracticesView {
+    network: u32,
+    cases: Vec<CaseView>,
+}
+
+#[derive(Debug, Clone, Deserialize)]
+struct CaseView {
+    month: usize,
+}
+
+/// One keep-alive HTTP/1.1 connection.
+struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Issue one request and read the full response. Returns
+    /// `(status, body)`.
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<(u16, String)> {
+        let payload = body.unwrap_or("");
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: mpa-serve\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        )?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<(u16, String)> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+}
+
+/// Deterministic GET path for global request index `seq`. `cases` is the
+/// pool of known `(network, month)` case coordinates for `/predict`; when
+/// it is empty the predict slot falls back to `/healthz`.
+fn get_path(seq: usize, meta: &HealthzMeta, cases: &[(u32, usize)]) -> String {
+    let nets = &meta.network_ids;
+    let net = nets[seq % nets.len().max(1)];
+    match seq % 5 {
+        0 => "/healthz".to_string(),
+        1 => "/rankings/mi".to_string(),
+        2 => "/causal/summary".to_string(),
+        3 if !cases.is_empty() => {
+            let (net, month) = cases[seq % cases.len()];
+            format!("/predict?network={net}&month={month}")
+        }
+        3 => "/healthz".to_string(),
+        _ => format!("/networks/{net}/practices"),
+    }
+}
+
+/// Ingest body for global request index `seq`: one fresh ticket.
+fn ingest_body(seq: usize, ticket_id_base: u32, meta: &HealthzMeta) -> String {
+    let id = ticket_id_base + seq as u32;
+    let net = meta.network_ids[seq % meta.network_ids.len().max(1)];
+    // Spread opened times over the observation period, deterministically.
+    let opened = (seq as u64 * 37) % meta.period_total_minutes.max(1);
+    format!(
+        "{{\"snapshots\": [], \"tickets\": [{{\"id\": {id}, \"network\": {net}, \
+         \"kind\": \"MonitoringAlarm\", \"opened\": {opened}, \"resolved\": null, \
+         \"devices\": [], \"severity\": \"Low\", \"symptom\": \"loadgen synthetic ticket\"}}]}}"
+    )
+}
+
+/// Per-client tallies, merged by [`run_load`].
+struct ClientTally {
+    latencies_us: Vec<u64>,
+    non_2xx: usize,
+    ingests: usize,
+}
+
+/// Run one closed-loop load generation pass against a live daemon.
+///
+/// Connects, reads `/healthz` for steering metadata, fans the request
+/// budget across `clients` keep-alive connections, then re-reads
+/// `/healthz` to record the post-run `events_applied`.
+pub fn run_load(cfg: &LoadConfig) -> io::Result<ServeBench> {
+    let mut probe = HttpClient::connect(&cfg.addr)?;
+    let (status, body) = probe.request("GET", "/healthz", None)?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("/healthz returned {status} before the run"),
+        ));
+    }
+    let meta: HealthzMeta = serde_json::from_str(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("/healthz parse: {e}")))?;
+    if meta.network_ids.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "daemon reports zero networks"));
+    }
+
+    // Discover real case coordinates so `/predict` never guesses.
+    let mut cases: Vec<(u32, usize)> = Vec::new();
+    for &net in &meta.network_ids {
+        let (status, body) = probe.request("GET", &format!("/networks/{net}/practices"), None)?;
+        if status != 200 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("/networks/{net}/practices returned {status} before the run"),
+            ));
+        }
+        let view: PracticesView = serde_json::from_str(&body).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("practices parse: {e}"))
+        })?;
+        cases.extend(view.cases.iter().map(|c| (view.network, c.month)));
+    }
+
+    let clients = cfg.clients.max(1);
+    let total = cfg.requests.max(1);
+    let started = Instant::now();
+    let tallies: Vec<io::Result<ClientTally>> = std::thread::scope(|scope| {
+        let meta = &meta;
+        let cases = cases.as_slice();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> io::Result<ClientTally> {
+                    // Client c owns request indices c, c+clients, c+2*clients, ...
+                    let mut client = HttpClient::connect(&cfg.addr)?;
+                    let mut tally =
+                        ClientTally { latencies_us: Vec::new(), non_2xx: 0, ingests: 0 };
+                    let mut seq = c;
+                    while seq < total {
+                        let is_ingest = cfg.ingest_every > 0 && seq % cfg.ingest_every == cfg.ingest_every - 1;
+                        let t0 = Instant::now();
+                        let (status, _body) = if is_ingest {
+                            let body = ingest_body(seq, cfg.ticket_id_base, meta);
+                            tally.ingests += 1;
+                            client.request("POST", "/ingest", Some(&body))?
+                        } else {
+                            client.request("GET", &get_path(seq, meta, cases), None)?
+                        };
+                        tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                        if !(200..300).contains(&status) {
+                            tally.non_2xx += 1;
+                        }
+                        seq += clients;
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load client panicked")).collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut non_2xx = 0usize;
+    let mut ingests = 0usize;
+    for tally in tallies {
+        let tally = tally?;
+        latencies.extend(tally.latencies_us);
+        non_2xx += tally.non_2xx;
+        ingests += tally.ingests;
+    }
+    latencies.sort_unstable();
+    let requests = latencies.len();
+
+    let (status, body) = probe.request("GET", "/healthz", None)?;
+    if status != 200 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("/healthz returned {status} after the run"),
+        ));
+    }
+    let after: HealthzMeta = serde_json::from_str(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("/healthz parse: {e}")))?;
+
+    Ok(ServeBench {
+        clients,
+        requests,
+        ingests,
+        non_2xx,
+        wall_s,
+        qps: requests as f64 / wall_s.max(1e-9),
+        p50_us: latencies[requests / 2],
+        p99_us: latencies[(requests * 99 / 100).min(requests - 1)],
+        max_us: latencies[requests - 1],
+        events_applied: after.events_applied,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> HealthzMeta {
+        HealthzMeta {
+            period_total_minutes: 131_040,
+            network_ids: vec![1, 2, 3],
+            events_applied: 0,
+        }
+    }
+
+    #[test]
+    fn get_paths_cycle_through_every_endpoint_deterministically() {
+        let meta = meta();
+        let cases = [(2u32, 1usize)];
+        let paths: Vec<String> = (0..5).map(|seq| get_path(seq, &meta, &cases)).collect();
+        assert_eq!(paths[0], "/healthz");
+        assert_eq!(paths[1], "/rankings/mi");
+        assert_eq!(paths[2], "/causal/summary");
+        assert_eq!(paths[3], "/predict?network=2&month=1");
+        assert!(paths[4].ends_with("/practices"));
+        // Same seq → same path, always.
+        assert_eq!(get_path(42, &meta, &cases), get_path(42, &meta, &cases));
+        // No known cases → the predict slot degrades to a safe endpoint
+        // rather than a guaranteed 404.
+        assert_eq!(get_path(3, &meta, &[]), "/healthz");
+    }
+
+    #[test]
+    fn ingest_bodies_mint_unique_ids_and_stay_inside_the_period() {
+        let meta = meta();
+        let a = ingest_body(7, INGEST_ID_BASE, &meta);
+        let b = ingest_body(8, INGEST_ID_BASE, &meta);
+        assert_ne!(a, b);
+        assert!(a.contains(&format!("\"id\": {}", INGEST_ID_BASE + 7)));
+        assert!(a.contains("\"snapshots\": []"));
+        // opened must stay within the observation period.
+        assert!(a.contains("\"opened\": 259"));
+    }
+
+    #[test]
+    fn serve_bench_round_trips_through_json() {
+        let bench = ServeBench {
+            clients: 4,
+            requests: 400,
+            ingests: 8,
+            non_2xx: 0,
+            wall_s: 1.5,
+            qps: 266.7,
+            p50_us: 120,
+            p99_us: 900,
+            max_us: 1500,
+            events_applied: 8,
+        };
+        let json = serde_json::to_string(&bench).expect("serializes");
+        let back: ServeBench = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.requests, 400);
+        assert_eq!(back.p99_us, 900);
+        assert_eq!(back.events_applied, 8);
+    }
+}

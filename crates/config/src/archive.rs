@@ -472,6 +472,26 @@ impl ReplayBuffer {
         self.index.clear();
     }
 
+    /// Cap the retained arena capacity at roughly `max_bytes`.
+    ///
+    /// A reused buffer grows to the largest fill it ever served and keeps
+    /// that high-water capacity until dropped — one outlier device pins its
+    /// arena for the rest of the worker's region. Callers that hold a buffer
+    /// across many fills invoke this between fills: it is a no-op while the
+    /// arena is within the cap, and shrinks (discarding the current
+    /// contents) only past it. Slices from [`Self::text`] are invalidated.
+    pub fn reclaim(&mut self, max_bytes: usize) {
+        if self.text.capacity() > max_bytes {
+            self.clear();
+            self.text.shrink_to(max_bytes);
+            self.ids.shrink_to(max_bytes / std::mem::size_of::<LineId>());
+            self.cur.shrink_to(max_bytes / std::mem::size_of::<LineId>());
+            self.spans.shrink_to_fit();
+            self.id_spans.shrink_to_fit();
+            self.canon.shrink_to_fit();
+        }
+    }
+
     fn seq_hash(ids: &[LineId], text_len: usize) -> u64 {
         let mut h = DefaultHasher::new();
         ids.hash(&mut h);

@@ -29,7 +29,7 @@ fn main() {
     let Some(command) = args.first() else {
         usage_and_exit();
     };
-    let opts = Opts::parse(&args[1..]);
+    let opts = Opts::parse(command, &args[1..]);
     if let Some(n) = opts.threads {
         mpa_core::exec::set_threads(n);
     }
@@ -109,7 +109,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
 }
 
 impl Opts {
-    fn parse(args: &[String]) -> Opts {
+    fn parse(command: &str, args: &[String]) -> Opts {
         let mut o = Opts::default();
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -123,6 +123,16 @@ impl Opts {
                 "--scale" => o.scale = Some(value()),
                 "--seed" => o.seed = Some(parse_num("--seed", &value())),
                 "--degrade" => {
+                    // Degradation is a *generation-time* knob; accepting it
+                    // on infer/analyze/predict/report would silently do
+                    // nothing and let users believe their run was degraded.
+                    if command != "generate" {
+                        eprintln!(
+                            "--degrade only applies to the generate command \
+                             (not {command:?}); generate a degraded dataset first"
+                        );
+                        std::process::exit(2);
+                    }
                     let raw = value();
                     o.degrade = Some(DegradeSpec::parse(&raw).unwrap_or_else(|e| {
                         eprintln!("--degrade: {e}");

@@ -24,6 +24,7 @@ pub mod compare;
 pub mod dependence;
 pub mod predict;
 pub mod report;
+pub mod session;
 
 /// The deterministic data-parallel execution engine (re-export of
 /// [`mpa_exec`]): worker-thread configuration, order-preserving parallel
@@ -39,3 +40,7 @@ pub use predict::{
     build_learnset, cross_validation, online_accuracy, HealthClasses, ModelKind,
 };
 pub use report::TextTable;
+pub use session::{
+    Analytics, AnalyticsSession, CausalRow, IngestBatch, IngestError, IngestOutcome,
+    SessionConfig,
+};

@@ -163,6 +163,14 @@ fn invalid_flag_values_are_rejected_with_exit_2() {
         (&["generate", "--scale", "tiny", "--degrade", "miss=abc"], "--degrade"),
         (&["generate", "--scale", "tiny", "--degrade", "miss=2.0"], "--degrade"),
         (&["generate", "--scale", "tiny", "--degrade", "miss=NaN"], "--degrade"),
+        // Scoping: --degrade is a generation-time knob. On any other
+        // command it used to parse fine and silently do nothing; it must
+        // now exit 2 naming the flag and the offending command.
+        (&["infer", "--degrade", "light"], "--degrade"),
+        (&["analyze", "--degrade", "light"], "--degrade"),
+        (&["predict", "--degrade", "heavy"], "--degrade"),
+        (&["report", "--degrade", "none"], "--degrade"),
+        (&["infer", "--degrade", "light"], "generate"),
     ];
     for (args, needle) in cases {
         let out = cli().args(*args).output().expect("run cli");

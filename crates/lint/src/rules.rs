@@ -108,9 +108,12 @@ impl Rule {
         match self {
             // Float order and hash order are never excusable by location.
             Rule::R1 | Rule::R2 => false,
-            // obs spans, bench timing and the exec phase-timing shim are
-            // the three sanctioned consumers of wall clocks.
-            Rule::R3 => under(&["crates/obs/", "crates/bench/", "crates/exec/"]),
+            // obs spans, bench timing, the exec phase-timing shim and the
+            // serve daemon (request latency, idle deadlines, socket
+            // timeouts) are the sanctioned consumers of wall clocks.
+            Rule::R3 => {
+                under(&["crates/obs/", "crates/bench/", "crates/exec/", "crates/serve/"])
+            }
             // Scheduling stats (exec) and their reporting (obs) are
             // quarantined by design; see DESIGN.md §9.
             Rule::R4 | Rule::R5 => under(&["crates/obs/", "crates/exec/"]),
@@ -165,7 +168,9 @@ mod tests {
         assert!(Rule::R3.allowed_path("crates/obs/src/span.rs"));
         assert!(Rule::R3.allowed_path("crates/bench/src/pipeline_bench.rs"));
         assert!(Rule::R3.allowed_path("crates/exec/src/lib.rs"));
+        assert!(Rule::R3.allowed_path("crates/serve/src/server.rs"));
         assert!(!Rule::R3.allowed_path("crates/core/src/causal.rs"));
+        assert!(!Rule::R4.allowed_path("crates/serve/src/server.rs"));
         assert!(Rule::R4.allowed_path("crates/exec/src/lib.rs"));
         assert!(!Rule::R4.allowed_path("crates/bench/src/pipeline_bench.rs"));
         assert!(Rule::R6.allowed_path("crates/core/src/bin/mpa-cli.rs"));

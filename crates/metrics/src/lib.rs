@@ -29,5 +29,7 @@ pub mod table;
 pub use catalog::{Metric, MetricCategory, N_METRICS};
 pub use changes::{replay_device_changes, DeviceChange};
 pub use events::{group_events, ChangeEvent, DELTA_DEFAULT_MINUTES};
-pub use pipeline::{infer, infer_case_table, infer_with_mode, InferMode, Inference};
+pub use pipeline::{
+    infer, infer_case_table, infer_with_mode, InferMode, Inference, NetworkInferCtx,
+};
 pub use table::{Case, CaseTable};

@@ -44,6 +44,14 @@ use std::collections::BTreeMap;
 /// degraded ones audit their missing windows.
 const GAP_SPAN_MINUTES: u64 = 45 * 24 * 60;
 
+/// Cap on the replay arena a full-mode worker keeps between devices. A
+/// reused [`ReplayBuffer`] otherwise retains the largest device's footprint
+/// for the rest of its region (per-worker high-water memory that only
+/// returns to the allocator when the region ends); reclaiming past 1 MiB
+/// bounds that retention while leaving the common case — config texts are
+/// a few KiB — reallocation-free.
+const REPLAY_ARENA_CAP_BYTES: usize = 1 << 20;
+
 /// Which engine derives change records and month-end facts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InferMode {
@@ -100,35 +108,15 @@ pub fn infer(dataset: &Dataset, delta_minutes: u64) -> Inference {
 /// Run the full inference pipeline with an explicit event window and
 /// engine choice.
 pub fn infer_with_mode(dataset: &Dataset, delta_minutes: u64, mode: InferMode) -> Inference {
-    let n_months = dataset.period.n_months();
-
-    // Incident tickets per (network, month).
-    let mut tickets: BTreeMap<(NetworkId, usize), f64> = BTreeMap::new();
-    for t in &dataset.tickets {
-        if !t.kind.counts_toward_health() {
-            continue;
-        }
-        if let Some(m) = dataset.period.month_of(t.opened) {
-            *tickets.entry((t.network, m)).or_insert(0.0) += 1.0;
-        }
-    }
-
-    // Line classification is a pure function of the archive's intern table:
-    // built once here, shared read-only by every network's delta engine.
-    // `Some` doubles as the mode switch for `infer_network`.
-    let classes = match mode {
-        InferMode::Delta => Some(LineClasses::new(&dataset.archive)),
-        InferMode::Full => None,
-    };
+    let ctx = NetworkInferCtx::new(dataset, delta_minutes, mode);
 
     // Each network's inference reads only shared immutable state (dataset,
     // ticket counts, line classes) and produces its own case rows, so
     // networks fan out across worker threads; merging in network order
     // keeps the CaseTable identical to a sequential run at any thread
     // count.
-    let per_network = mpa_exec::par_map(&dataset.networks, |_, network| {
-        infer_network(dataset, network, &tickets, n_months, delta_minutes, classes.as_ref())
-    });
+    let per_network =
+        mpa_exec::par_map(&dataset.networks, |_, network| ctx.infer_network(dataset, network));
 
     let mut all_cases = Vec::new();
     let mut device_changes_by_net: BTreeMap<NetworkId, Vec<DeviceChange>> = BTreeMap::new();
@@ -138,6 +126,67 @@ pub fn infer_with_mode(dataset: &Dataset, delta_minutes: u64, mode: InferMode) -
     }
 
     Inference { table: CaseTable::new(all_cases), device_changes: device_changes_by_net }
+}
+
+/// Shared read-only context for inferring individual networks against a
+/// dataset: the per-`(network, month)` incident-ticket counts and (in delta
+/// mode) the line classification, both pure functions of the dataset's
+/// ticket stream and archive intern table.
+///
+/// `infer_with_mode` builds one per batch run; long-lived callers (the
+/// `mpa-serve` resident session) rebuild it whenever the archive or ticket
+/// stream grows and then re-infer only the networks an ingested event
+/// touched. Because [`Self::infer_network`] is the exact parallel unit of
+/// the batch pipeline and reads nothing but this context plus the dataset,
+/// a per-network re-inference is byte-identical to what a cold batch run
+/// over the same (grown) dataset would produce for that network — the
+/// foundation of the daemon's ingest-equals-batch guarantee.
+pub struct NetworkInferCtx {
+    tickets: BTreeMap<(NetworkId, usize), f64>,
+    classes: Option<LineClasses>,
+    n_months: usize,
+    delta_minutes: u64,
+}
+
+impl NetworkInferCtx {
+    /// Build the context from the dataset's current tickets and archive.
+    pub fn new(dataset: &Dataset, delta_minutes: u64, mode: InferMode) -> Self {
+        // Incident tickets per (network, month).
+        let mut tickets: BTreeMap<(NetworkId, usize), f64> = BTreeMap::new();
+        for t in &dataset.tickets {
+            if !t.kind.counts_toward_health() {
+                continue;
+            }
+            if let Some(m) = dataset.period.month_of(t.opened) {
+                *tickets.entry((t.network, m)).or_insert(0.0) += 1.0;
+            }
+        }
+        // Line classification is a pure function of the archive's intern
+        // table: built once, shared read-only by every network's delta
+        // engine. `Some` doubles as the mode switch for `infer_network`.
+        let classes = match mode {
+            InferMode::Delta => Some(LineClasses::new(&dataset.archive)),
+            InferMode::Full => None,
+        };
+        Self { tickets, classes, n_months: dataset.period.n_months(), delta_minutes }
+    }
+
+    /// Infer one network's case rows and change records. `dataset` must be
+    /// the dataset this context was built from (or an unmodified clone).
+    pub fn infer_network(
+        &self,
+        dataset: &Dataset,
+        network: &mpa_model::Network,
+    ) -> (NetworkId, Vec<Case>, Vec<DeviceChange>) {
+        infer_network(
+            dataset,
+            network,
+            &self.tickets,
+            self.n_months,
+            self.delta_minutes,
+            self.classes.as_ref(),
+        )
+    }
 }
 
 /// Infer all case rows and change records for one network (pure w.r.t. the
@@ -195,14 +244,17 @@ fn infer_network(
                 &mut net_changes,
                 &mut facts_by_month,
             ),
-            None => infer_device_full(
-                dataset,
-                device,
-                metas,
-                &mut replay,
-                &mut net_changes,
-                &mut facts_by_month,
-            ),
+            None => {
+                infer_device_full(
+                    dataset,
+                    device,
+                    metas,
+                    &mut replay,
+                    &mut net_changes,
+                    &mut facts_by_month,
+                );
+                replay.reclaim(REPLAY_ARENA_CAP_BYTES);
+            }
         }
     }
 

@@ -159,6 +159,26 @@ pub static DEGRADE_TICKETS_CORRUPTED: Counter = Counter::new("degrade_tickets_co
 /// not degradations detected; it is identical across infer modes.
 pub static INFER_GAPS_SPANNED: Counter = Counter::new("infer_gaps_spanned");
 
+// --- serve daemon (incremented by mpa-serve / mpa-core session) ----------
+
+/// HTTP requests the serve daemon accepted for dispatch (any method/path).
+pub static SERVE_REQUESTS: Counter = Counter::new("serve_requests");
+/// Responses sent with a 2xx status.
+pub static SERVE_RESPONSES_2XX: Counter = Counter::new("serve_responses_2xx");
+/// Responses sent with a 4xx status (malformed or unknown requests).
+pub static SERVE_RESPONSES_4XX: Counter = Counter::new("serve_responses_4xx");
+/// Responses sent with a 5xx status (should stay zero; any increment is a
+/// daemon bug worth a look).
+pub static SERVE_RESPONSES_5XX: Counter = Counter::new("serve_responses_5xx");
+/// Snapshot events applied through the ingest queue.
+pub static SERVE_INGEST_SNAPSHOTS: Counter = Counter::new("serve_ingest_snapshots");
+/// Ticket events applied through the ingest queue.
+pub static SERVE_INGEST_TICKETS: Counter = Counter::new("serve_ingest_tickets");
+/// Ingest batches rejected by validation (the session was left untouched).
+pub static SERVE_INGEST_REJECTED: Counter = Counter::new("serve_ingest_rejected");
+/// Networks incrementally re-inferred after accepted ingest batches.
+pub static SERVE_NETWORKS_REINFERRED: Counter = Counter::new("serve_networks_reinferred");
+
 // --- boosting (incremented by mpa-learn) ---------------------------------
 
 /// AdaBoost rounds executed (trees fitted inside the boosting loop).
@@ -195,6 +215,14 @@ pub static ALL: &[&Counter] = &[
     &DEGRADE_TICKETS_DUPLICATED,
     &DEGRADE_TICKETS_CORRUPTED,
     &INFER_GAPS_SPANNED,
+    &SERVE_REQUESTS,
+    &SERVE_RESPONSES_2XX,
+    &SERVE_RESPONSES_4XX,
+    &SERVE_RESPONSES_5XX,
+    &SERVE_INGEST_SNAPSHOTS,
+    &SERVE_INGEST_TICKETS,
+    &SERVE_INGEST_REJECTED,
+    &SERVE_NETWORKS_REINFERRED,
     &BOOST_ROUNDS,
     &BOOST_EARLY_STOPS,
 ];

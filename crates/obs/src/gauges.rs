@@ -41,8 +41,26 @@ impl Gauge {
 /// every time the thread count is queried; 0 = never resolved).
 pub static EXEC_THREADS: Gauge = Gauge::new("exec_threads");
 
+/// Serve request latency, 50th percentile in microseconds, over the
+/// daemon's whole life (set from its internal reservoir when the daemon
+/// drains). Latencies are measurements, not work: they belong in gauges,
+/// which — unlike counters — are allowed to vary run to run.
+pub static SERVE_LATENCY_P50_US: Gauge = Gauge::new("serve_latency_p50_us");
+/// Serve request latency, 99th percentile in microseconds.
+pub static SERVE_LATENCY_P99_US: Gauge = Gauge::new("serve_latency_p99_us");
+/// Serve request latency, maximum in microseconds.
+pub static SERVE_LATENCY_MAX_US: Gauge = Gauge::new("serve_latency_max_us");
+/// Deepest the bounded ingest queue ever got (backpressure high-water).
+pub static SERVE_QUEUE_PEAK: Gauge = Gauge::new("serve_queue_peak");
+
 /// Every registered gauge, in report order.
-pub static ALL: &[&Gauge] = &[&EXEC_THREADS];
+pub static ALL: &[&Gauge] = &[
+    &EXEC_THREADS,
+    &SERVE_LATENCY_P50_US,
+    &SERVE_LATENCY_P99_US,
+    &SERVE_LATENCY_MAX_US,
+    &SERVE_QUEUE_PEAK,
+];
 
 /// Snapshot every registered gauge as `(name, value)` in report order.
 pub fn snapshot() -> Vec<(&'static str, u64)> {

@@ -1,0 +1,315 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! `mpa-serve` follows the workspace's no-external-dependency policy, so
+//! this module implements the small HTTP subset the daemon needs: request
+//! line + headers + `Content-Length` bodies, keep-alive, and hard limits
+//! on every dimension an untrusted peer controls. Anything outside that
+//! subset is rejected with a 4xx/5xx — never a panic (the malformed-input
+//! contract is regression-tested in `tests/serve.rs`).
+
+use std::io::{BufReader, ErrorKind, Read, Write};
+
+/// Longest accepted request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Largest accepted request body (bounds ingest batches).
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a query parameter, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out with no bytes received (idle keep-alive).
+    Idle,
+    /// A transport error (reset, broken pipe, ...).
+    Io(std::io::Error),
+    /// The bytes received do not form an acceptable request; respond
+    /// with `status` and close.
+    Bad {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Human-readable reason for the error body.
+        reason: &'static str,
+    },
+}
+
+fn bad(status: u16, reason: &'static str) -> ReadError {
+    ReadError::Bad { status, reason }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Read one CRLF/LF-terminated line of at most `max` bytes. `first` marks
+/// the request line, where EOF and timeouts are connection-lifecycle
+/// events rather than protocol errors.
+fn read_line_limited<R: Read>(
+    reader: &mut BufReader<R>,
+    max: usize,
+    first: bool,
+) -> Result<String, ReadError> {
+    let mut line: Vec<u8> = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if first && line.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(bad(400, "unexpected end of request"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > max {
+                    return Err(bad(431, "line too long"));
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                if first && line.is_empty() {
+                    return Err(ReadError::Idle);
+                }
+                return Err(bad(408, "request read timed out"));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad(400, "request is not valid UTF-8"))
+}
+
+/// Read and parse one request from the connection.
+pub fn read_request<R: Read>(reader: &mut BufReader<R>) -> Result<Request, ReadError> {
+    let request_line = read_line_limited(reader, MAX_REQUEST_LINE, true)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad(400, "malformed request line"));
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(505, "unsupported HTTP version"));
+    }
+
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length: usize = 0;
+    for read_headers in 0.. {
+        if read_headers >= MAX_HEADERS {
+            return Err(bad(431, "too many headers"));
+        }
+        let line = read_line_limited(reader, MAX_HEADER_LINE, false)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(400, "malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| bad(400, "unparsable content-length"))?;
+                if content_length > MAX_BODY {
+                    return Err(bad(413, "request body too large"));
+                }
+            }
+            "transfer-encoding" => {
+                return Err(bad(501, "transfer-encoding is not supported"));
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            if is_timeout(&e) {
+                bad(408, "request body read timed out")
+            } else if e.kind() == ErrorKind::UnexpectedEof {
+                bad(400, "request body shorter than content-length")
+            } else {
+                ReadError::Io(e)
+            }
+        })?;
+    }
+
+    if !target.starts_with('/') {
+        return Err(bad(400, "request target must be an absolute path"));
+    }
+    let (path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = raw_query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        body,
+        keep_alive,
+    })
+}
+
+/// Canonical reason phrase for the status codes the daemon emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write one JSON response (status line, headers, body).
+pub fn write_response<W: Write>(
+    out: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason_phrase(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    out.write_all(head.as_bytes())?;
+    out.write_all(body.as_bytes())?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.as_bytes().to_vec())))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse("GET /predict?network=3&month=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.query_param("network"), Some("3"));
+        assert_eq!(req.query_param("month"), Some("1"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_by_content_length() {
+        let req =
+            parse("POST /ingest HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_4xx() {
+        for (raw, want) in [
+            ("NONSENSE\r\n\r\n", 400),
+            ("GET /x HTTP/2\r\n\r\n", 505),
+            ("GET /x HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            ("GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413),
+            ("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+            ("GET x HTTP/1.1\r\n\r\n", 400),
+            ("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 400),
+        ] {
+            match parse(raw) {
+                Err(ReadError::Bad { status, .. }) => {
+                    assert_eq!(status, want, "status for {raw:?}")
+                }
+                other => panic!("{raw:?} should be Bad, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_an_error() {
+        assert!(matches!(parse(""), Err(ReadError::Closed)));
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 1));
+        assert!(matches!(parse(&raw), Err(ReadError::Bad { status: 431, .. })));
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

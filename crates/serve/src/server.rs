@@ -1,0 +1,386 @@
+//! The daemon: accept loop, router, bounded ingest queue, shutdown.
+//!
+//! Concurrency model (DESIGN.md §14):
+//!
+//! * The [`mpa_core::AnalyticsSession`] lives behind one `RwLock`. GET
+//!   handlers take the read lock and render views from the eagerly
+//!   refreshed analytics cache, so reads never compute.
+//! * All mutation is serialized through a **bounded ingest queue**
+//!   (`mpsc::sync_channel`): one worker thread applies each batch and
+//!   refreshes the derived analytics under the write lock before
+//!   answering the submitting handler. A full queue blocks the
+//!   submitting connection — backpressure, not load shedding — so an
+//!   accepted 2xx always means "applied and visible".
+//! * Connections get one thread each (keep-alive, short read timeout).
+//!   The accept loop polls with a non-blocking listener so it can watch
+//!   the shutdown flag and the idle deadline between accepts.
+//! * Shutdown (POST `/shutdown`, or `--idle-secs` with no traffic) stops
+//!   accepting, lets in-flight connections drain, closes the ingest
+//!   queue, then records latency percentiles and queue high-water into
+//!   the observability gauges. The workspace denies `unsafe`, so there is
+//!   deliberately no signal handler; supervisors use the HTTP shutdown or
+//!   the idle deadline instead.
+
+use crate::http::{self, ReadError, Request};
+use crate::views;
+use mpa_core::{AnalyticsSession, IngestBatch, IngestError, IngestOutcome};
+use mpa_model::NetworkId;
+use mpa_obs::counters;
+use mpa_obs::gauges;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection read blocks before re-checking the shutdown
+/// flag; also the drain latency bound for idle keep-alive connections.
+const READ_TIMEOUT: Duration = Duration::from_millis(250);
+/// Accept-loop poll interval when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Daemon configuration (the binary's flags).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Ingest queue depth before submitters block.
+    pub queue_cap: usize,
+    /// Exit after this many seconds without a request (`None` = serve
+    /// until told to shut down).
+    pub idle_secs: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:7878".into(), queue_cap: 64, idle_secs: None }
+    }
+}
+
+struct IngestJob {
+    batch: IngestBatch,
+    reply: mpsc::Sender<Result<IngestOutcome, IngestError>>,
+}
+
+struct Shared {
+    session: RwLock<AnalyticsSession>,
+    shutdown: AtomicBool,
+    started: Instant,
+    /// Milliseconds since `started` of the most recent request or accept.
+    last_activity_ms: AtomicU64,
+    /// Submitted-but-unapplied ingest batches, and the deepest that got.
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    /// Per-request latencies in microseconds (drained into gauges at
+    /// shutdown).
+    latencies_us: Mutex<Vec<u64>>,
+    ingest_tx: Mutex<Option<SyncSender<IngestJob>>>,
+}
+
+impl Shared {
+    fn touch(&self) {
+        let ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        self.last_activity_ms.store(ms, Ordering::Relaxed);
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, AnalyticsSession> {
+        self.session.read().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A bound, not-yet-running daemon. Created with [`Server::bind`] so the
+/// caller can learn the actual address (ephemeral ports) before serving.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    ingest_worker: JoinHandle<()>,
+}
+
+impl Server {
+    /// Build the daemon around an already-loaded session and bind the
+    /// listener. The session's analytics are refreshed here so every read
+    /// path finds the cache warm.
+    pub fn bind(mut session: AnalyticsSession, config: &ServerConfig) -> std::io::Result<Server> {
+        session.refresh();
+        let shared = Arc::new(Shared {
+            session: RwLock::new(session),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            last_activity_ms: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            ingest_tx: Mutex::new(None),
+        });
+        let (tx, rx) = mpsc::sync_channel(config.queue_cap.max(1));
+        *shared.ingest_tx.lock().unwrap_or_else(PoisonError::into_inner) = Some(tx);
+        let worker_shared = Arc::clone(&shared);
+        let ingest_worker = std::thread::spawn(move || ingest_worker(&worker_shared, &rx));
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server { listener, local_addr, shared, ingest_worker })
+    }
+
+    /// The address the listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serve until shut down (POST `/shutdown` or the idle deadline),
+    /// then drain connections, close the ingest queue and record the
+    /// latency/queue gauges.
+    pub fn run(self, idle_secs: Option<u64>) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let shared = &self.shared;
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.touch();
+                    handles.retain(|h| !h.is_finished());
+                    let conn_shared = Arc::clone(shared);
+                    handles.push(std::thread::spawn(move || {
+                        handle_connection(&conn_shared, stream);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if let Some(limit) = idle_secs {
+                        let idle_ms = u64::try_from(shared.started.elapsed().as_millis())
+                            .unwrap_or(u64::MAX)
+                            .saturating_sub(shared.last_activity_ms.load(Ordering::Relaxed));
+                        if idle_ms >= limit.saturating_mul(1000) {
+                            eprintln!("[mpa-serve] idle for {limit}s, shutting down");
+                            shared.shutdown.store(true, Ordering::Release);
+                        }
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: connections first (their ingest submissions must reach
+        // the queue), then the worker.
+        for h in handles {
+            let _ = h.join();
+        }
+        drop(self.shared.ingest_tx.lock().unwrap_or_else(PoisonError::into_inner).take());
+        let _ = self.ingest_worker.join();
+
+        let mut lat = self
+            .shared
+            .latencies_us
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !lat.is_empty() {
+            lat.sort_unstable();
+            gauges::SERVE_LATENCY_P50_US.set(lat[lat.len() / 2]);
+            gauges::SERVE_LATENCY_P99_US.set(lat[(lat.len() * 99 / 100).min(lat.len() - 1)]);
+            gauges::SERVE_LATENCY_MAX_US.set(lat[lat.len() - 1]);
+        }
+        gauges::SERVE_QUEUE_PEAK.set(self.shared.queue_peak.load(Ordering::Relaxed));
+        Ok(())
+    }
+}
+
+fn ingest_worker(shared: &Shared, rx: &Receiver<IngestJob>) {
+    for job in rx.iter() {
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let result = {
+            let mut session = shared.session.write().unwrap_or_else(PoisonError::into_inner);
+            let result = session.ingest(job.batch);
+            if result.is_ok() {
+                // Refresh under the write lock: once the submitter hears
+                // 2xx, every read path sees the new corpus *and* the new
+                // analytics.
+                session.refresh();
+            }
+            result
+        };
+        let _ = job.reply.send(result);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut out = stream;
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(req) => {
+                shared.touch();
+                let started = Instant::now();
+                let (status, body) = route(shared, &req);
+                count_status(status);
+                let keep = req.keep_alive && status < 500;
+                if http::write_response(&mut out, status, &body, keep).is_err() {
+                    break;
+                }
+                let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared
+                    .latencies_us
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(us);
+                if !keep {
+                    break;
+                }
+            }
+            Err(ReadError::Idle) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => break,
+            Err(ReadError::Bad { status, reason }) => {
+                count_status(status);
+                let _ = http::write_response(&mut out, status, &views::error_body(reason), false);
+                break;
+            }
+        }
+    }
+}
+
+fn count_status(status: u16) {
+    match status {
+        200..=299 => counters::SERVE_RESPONSES_2XX.add(1),
+        400..=499 => counters::SERVE_RESPONSES_4XX.add(1),
+        _ => counters::SERVE_RESPONSES_5XX.add(1),
+    }
+}
+
+/// The route table. Returns `(status, json_body)`; must never panic on
+/// any input (the malformed-request test suite holds it to that).
+fn route(shared: &Arc<Shared>, req: &Request) -> (u16, String) {
+    counters::SERVE_REQUESTS.add(1);
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => get_only(req, "GET /healthz", || (200, views::healthz(&shared.read()))),
+        ["networks", id, "practices"] => {
+            let id = *id;
+            get_only(req, "GET /networks/:id/practices", || {
+                let Ok(id) = id.parse::<u32>() else {
+                    return (400, views::error_body("network id must be an unsigned integer"));
+                };
+                match views::practices(&shared.read(), NetworkId(id)) {
+                    Some(body) => (200, body),
+                    None => (404, views::error_body("unknown network")),
+                }
+            })
+        }
+        ["rankings", "mi"] => get_only(req, "GET /rankings/mi", || {
+            with_analytics(shared, |_, a| views::mi_ranking(a))
+        }),
+        ["causal", "summary"] => get_only(req, "GET /causal/summary", || {
+            with_analytics(shared, |_, a| views::causal_summary(a))
+        }),
+        ["predict"] => get_only(req, "GET /predict", || predict(shared, req)),
+        ["ingest"] => post_only(req, "POST /ingest", || ingest(shared, req)),
+        ["shutdown"] => post_only(req, "POST /shutdown", || {
+            shared.shutdown.store(true, Ordering::Release);
+            (200, "{\"status\": \"draining\"}".to_string())
+        }),
+        _ => (404, views::error_body("no such endpoint")),
+    }
+}
+
+fn get_only(req: &Request, label: &str, f: impl FnOnce() -> (u16, String)) -> (u16, String) {
+    if req.method != "GET" {
+        return (405, views::error_body("method not allowed (use GET)"));
+    }
+    mpa_obs::span(label, f)
+}
+
+fn post_only(req: &Request, label: &str, f: impl FnOnce() -> (u16, String)) -> (u16, String) {
+    if req.method != "POST" {
+        return (405, views::error_body("method not allowed (use POST)"));
+    }
+    mpa_obs::span(label, f)
+}
+
+fn with_analytics(
+    shared: &Shared,
+    f: impl FnOnce(&AnalyticsSession, &mpa_core::Analytics) -> String,
+) -> (u16, String) {
+    let session = shared.read();
+    match session.analytics_cached() {
+        Some(a) => (200, f(&session, a)),
+        // Unreachable in practice: bind() and the ingest worker refresh
+        // eagerly. Kept as a response, not an assert — the daemon must
+        // not panic.
+        None => (503, views::error_body("analytics not materialized")),
+    }
+}
+
+fn predict(shared: &Shared, req: &Request) -> (u16, String) {
+    let network = req.query_param("network");
+    let month = req.query_param("month");
+    match (network, month) {
+        (None, None) => with_analytics(shared, views::predict_overview),
+        (Some(n), Some(m)) => {
+            let (Ok(n), Ok(m)) = (n.parse::<u32>(), m.parse::<usize>()) else {
+                return (400, views::error_body("network and month must be unsigned integers"));
+            };
+            match views::predict_case(&shared.read(), NetworkId(n), m) {
+                Some(body) => (200, body),
+                None => (404, views::error_body("no such case (network, month)")),
+            }
+        }
+        _ => (400, views::error_body("pass both network and month, or neither")),
+    }
+}
+
+fn ingest(shared: &Shared, req: &Request) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return (400, views::error_body("ingest body is not valid UTF-8"));
+    };
+    let batch: IngestBatch = match serde_json::from_str(text) {
+        Ok(b) => b,
+        Err(e) => return (400, views::error_body(&format!("ingest body is not a batch: {e}"))),
+    };
+    let tx = {
+        let guard = shared.ingest_tx.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.clone()
+    };
+    let Some(tx) = tx else {
+        return (503, views::error_body("shutting down"));
+    };
+    let depth = shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(IngestJob { batch, reply: reply_tx }).is_err() {
+        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        return (503, views::error_body("shutting down"));
+    }
+    match reply_rx.recv() {
+        Ok(Ok(outcome)) => {
+            counters::SERVE_INGEST_SNAPSHOTS.add(outcome.snapshots as u64);
+            counters::SERVE_INGEST_TICKETS.add(outcome.tickets as u64);
+            let events = shared.read().events_applied();
+            (
+                200,
+                format!(
+                    "{{\"status\": \"applied\", \"snapshots\": {}, \"tickets\": {}, \
+                     \"networks_reinferred\": {}, \"events_applied\": {events}}}",
+                    outcome.snapshots, outcome.tickets, outcome.networks_reinferred
+                ),
+            )
+        }
+        Ok(Err(e)) => {
+            counters::SERVE_INGEST_REJECTED.add(1);
+            (422, views::error_body(&e.to_string()))
+        }
+        Err(_) => (503, views::error_body("shutting down")),
+    }
+}

@@ -1,0 +1,373 @@
+//! End-to-end tests of the `mpa-serve` daemon binary: spawn the real
+//! process on an ephemeral port, drive it over real sockets.
+//!
+//! Covered contracts:
+//! * endpoint goldens — committed response bytes for every GET endpoint
+//!   (regenerate with `MPA_GOLDEN_WRITE=1 cargo test -p mpa-serve`);
+//! * concurrency determinism — 16 hammering clients read the same bytes
+//!   a single client does;
+//! * ingest-equals-batch — responses after an HTTP ingest are
+//!   byte-identical to an in-process [`AnalyticsSession`] fed the same
+//!   batch (which the root `serve_session` property test in turn pins to
+//!   a cold batch run);
+//! * malformed requests get 4xx responses, never a hung or dead daemon;
+//! * graceful shutdown drains, exits 0, and writes the obs report;
+//! * `--idle-secs` lets the daemon retire itself.
+
+use mpa_core::{AnalyticsSession, IngestBatch, SessionConfig};
+use mpa_model::{NetworkId, Ticket, TicketId, TicketKind, TicketSeverity, Timestamp};
+use mpa_serve::views;
+use mpa_synth::{Dataset, Scenario};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+/// Tiny corpus shared by every test in this process, written to a
+/// pid-scoped temp path so parallel `cargo test` invocations don't race.
+fn tiny_dataset_path() -> &'static PathBuf {
+    static PATH: OnceLock<PathBuf> = OnceLock::new();
+    PATH.get_or_init(|| {
+        let path =
+            std::env::temp_dir().join(format!("mpa_serve_test_{}.json", std::process::id()));
+        let json = serde_json::to_string(&Scenario::tiny().generate()).expect("serializes");
+        std::fs::write(&path, json).expect("write tiny dataset");
+        path
+    })
+}
+
+fn tiny_dataset() -> Dataset {
+    let text = std::fs::read_to_string(tiny_dataset_path()).expect("read tiny dataset");
+    let mut ds: Dataset = serde_json::from_str(&text).expect("parse tiny dataset");
+    ds.inventory.rebuild_index();
+    ds
+}
+
+fn tiny_session() -> AnalyticsSession {
+    AnalyticsSession::new(tiny_dataset(), SessionConfig::default())
+}
+
+/// A spawned daemon bound to an ephemeral port.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mpa-serve"))
+            .args(["--dataset", tiny_dataset_path().to_str().expect("utf-8 path")])
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn mpa-serve");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before announcing its address")
+                .expect("read daemon stderr");
+            if let Some(addr) = line.strip_prefix("[mpa-serve] listening on ") {
+                break addr.trim().to_string();
+            }
+        };
+        // Keep draining stderr so the daemon can't block on a full pipe.
+        std::thread::spawn(move || for _ in lines.by_ref() {});
+        Self { child, addr }
+    }
+
+    fn shutdown(&mut self) -> std::process::ExitStatus {
+        let (status, _) = self.post("/shutdown", "");
+        assert_eq!(status, 200, "shutdown endpoint");
+        self.wait_for_exit()
+    }
+
+    fn wait_for_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "daemon did not exit within 30s");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn get(&self, path: &str) -> (u16, String) {
+        request(&self.addr, "GET", path, "")
+    }
+
+    fn post(&self, path: &str, body: &str) -> (u16, String) {
+        request(&self.addr, "POST", path, body)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One-shot HTTP/1.1 request over a fresh connection.
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+    raw_request(
+        stream,
+        &format!(
+            "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+    .expect("well-formed request gets a response")
+}
+
+/// Write raw bytes, read one full response. `None` if the daemon closed
+/// the connection without responding (it never should — even garbage gets
+/// a 4xx).
+fn raw_request(stream: TcpStream, payload: &str) -> Option<(u16, String)> {
+    let mut writer = stream.try_clone().expect("clone stream");
+    writer.write_all(payload.as_bytes()).ok()?;
+    writer.flush().ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line).ok()? == 0 {
+        return None;
+    }
+    let status: u16 = status_line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header).ok()? == 0 {
+            return None;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, String::from_utf8(body).ok()?))
+}
+
+/// A `(network, month)` coordinate that has a case, plus a network id —
+/// pulled from the in-process session so tests never guess.
+fn known_case() -> (u32, usize) {
+    let session = tiny_session();
+    let net = session.dataset().networks[0].id;
+    let cases = session.network_cases(net).expect("first network has rows");
+    (net.0, cases.first().expect("at least one case").month)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn endpoint_responses_match_golden_files() {
+    let daemon = Daemon::spawn(&[]);
+    let (net, month) = known_case();
+    let fixtures: Vec<(&str, String)> = vec![
+        ("healthz.json", "/healthz".to_string()),
+        ("practices.json", format!("/networks/{net}/practices")),
+        ("rankings_mi.json", "/rankings/mi".to_string()),
+        ("causal_summary.json", "/causal/summary".to_string()),
+        ("predict_overview.json", "/predict".to_string()),
+        ("predict_case.json", format!("/predict?network={net}&month={month}")),
+    ];
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden");
+    let write = std::env::var("MPA_GOLDEN_WRITE").is_ok_and(|v| v == "1");
+    if write {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+    for (name, path) in fixtures {
+        let (status, body) = daemon.get(&path);
+        assert_eq!(status, 200, "GET {path}");
+        let file = dir.join(name);
+        if write {
+            std::fs::write(&file, &body).expect("write golden");
+            continue;
+        }
+        let committed = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", file.display()));
+        assert_eq!(
+            committed, body,
+            "{name} drifted from the committed golden; if intentional, \
+             regenerate with MPA_GOLDEN_WRITE=1"
+        );
+    }
+}
+
+#[test]
+fn sixteen_concurrent_clients_read_the_same_bytes_as_one() {
+    let daemon = Daemon::spawn(&[]);
+    let (net, month) = known_case();
+    let paths: Vec<String> = vec![
+        "/healthz".to_string(),
+        format!("/networks/{net}/practices"),
+        "/rankings/mi".to_string(),
+        "/causal/summary".to_string(),
+        format!("/predict?network={net}&month={month}"),
+    ];
+    let baseline: Vec<(u16, String)> = paths.iter().map(|p| daemon.get(p)).collect();
+    for (status, _) in &baseline {
+        assert_eq!(*status, 200);
+    }
+    std::thread::scope(|scope| {
+        for client in 0..16 {
+            let daemon = &daemon;
+            let paths = &paths;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                // Stagger starting offsets so clients hit different
+                // endpoints at the same instant.
+                for i in 0..paths.len() {
+                    let idx = (client + i) % paths.len();
+                    let got = daemon.get(&paths[idx]);
+                    assert_eq!(got, baseline[idx], "client {client}, {}", paths[idx]);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn http_ingest_matches_an_in_process_session_byte_for_byte() {
+    let daemon = Daemon::spawn(&[]);
+    let mut session = tiny_session();
+    let nets: Vec<NetworkId> =
+        session.dataset().networks.iter().take(2).map(|n| n.id).collect();
+    let horizon = session.dataset().period.total_minutes();
+    let batch = IngestBatch {
+        snapshots: vec![],
+        tickets: nets
+            .iter()
+            .enumerate()
+            .map(|(i, &net)| Ticket {
+                id: TicketId(90_000_000 + i as u32),
+                network: net,
+                kind: TicketKind::UserReport,
+                opened: Timestamp(horizon.saturating_sub(10 + i as u64)),
+                resolved: None,
+                devices: vec![],
+                severity: TicketSeverity::High,
+                symptom: "ingest parity test".to_string(),
+            })
+            .collect(),
+    };
+
+    let (status, body) =
+        daemon.post("/ingest", &serde_json::to_string(&batch).expect("batch serializes"));
+    assert_eq!(status, 200, "ingest response: {body}");
+    let outcome = session.ingest(batch).expect("in-process ingest accepts the same batch");
+    assert!(body.contains(&format!("\"tickets\": {}", outcome.tickets)));
+
+    // Every endpoint must now render exactly what the in-process session
+    // renders — the daemon holds no state of its own.
+    assert_eq!(daemon.get("/healthz").1, views::healthz(&session));
+    for &net in &nets {
+        assert_eq!(
+            daemon.get(&format!("/networks/{}/practices", net.0)).1,
+            views::practices(&session, net).expect("known network")
+        );
+    }
+    session.refresh();
+    let analytics = session.analytics_cached().expect("just refreshed");
+    assert_eq!(daemon.get("/rankings/mi").1, views::mi_ranking(analytics));
+    assert_eq!(daemon.get("/causal/summary").1, views::causal_summary(analytics));
+    assert_eq!(daemon.get("/predict").1, views::predict_overview(&session, analytics));
+}
+
+#[test]
+fn rejected_and_malformed_requests_get_4xx_and_the_daemon_survives() {
+    let daemon = Daemon::spawn(&[]);
+
+    // Raw-socket malformations: (payload, expected status).
+    let raw_cases: &[(&str, u16)] = &[
+        ("GARBAGE\r\n\r\n", 400),
+        ("GET /healthz HTTP/2.0\r\n\r\n", 505),
+        (&format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(9000)), 431),
+        ("GET healthz HTTP/1.1\r\n\r\n", 400),
+        ("POST /ingest HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+        ("POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
+    ];
+    for (payload, want) in raw_cases {
+        let stream = TcpStream::connect(&daemon.addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+        let (status, _) = raw_request(stream, payload)
+            .unwrap_or_else(|| panic!("no response to {payload:?}"));
+        assert_eq!(status, *want, "payload {payload:?}");
+    }
+
+    // Well-formed but invalid requests.
+    let (status, _) = daemon.get("/no/such/endpoint");
+    assert_eq!(status, 404);
+    let (status, _) = daemon.post("/healthz", "");
+    assert_eq!(status, 405);
+    let (status, _) = daemon.get("/ingest");
+    assert_eq!(status, 405);
+    let (status, _) = daemon.get("/predict?network=1");
+    assert_eq!(status, 400, "predict needs both params or neither");
+    let (status, _) = daemon.get("/predict?network=abc&month=0");
+    assert_eq!(status, 400);
+    let (status, _) = daemon.get("/networks/999999/practices");
+    assert_eq!(status, 404);
+    let (status, body) = daemon.post("/ingest", "{not json");
+    assert_eq!(status, 400, "body: {body}");
+    let (status, body) = daemon.post(
+        "/ingest",
+        "{\"snapshots\": [], \"tickets\": [{\"id\": 7, \"network\": 999999, \
+         \"kind\": \"UserReport\", \"opened\": 1, \"resolved\": null, \
+         \"devices\": [], \"severity\": \"Low\", \"symptom\": \"x\"}]}",
+    );
+    assert_eq!(status, 422, "body: {body}");
+    assert!(body.contains("unknown network"), "body: {body}");
+
+    // After all of that the daemon still answers.
+    let (status, body) = daemon.get("/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""));
+}
+
+#[test]
+fn graceful_shutdown_drains_and_writes_the_obs_report() {
+    let report =
+        std::env::temp_dir().join(format!("mpa_serve_report_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&report);
+    let mut daemon =
+        Daemon::spawn(&["--obs-out", report.to_str().expect("utf-8 path")]);
+    for _ in 0..3 {
+        assert_eq!(daemon.get("/healthz").0, 200);
+    }
+    let status = daemon.shutdown();
+    assert!(status.success(), "daemon exit status {status}");
+    let text = std::fs::read_to_string(&report).expect("obs report written on shutdown");
+    for needle in ["serve_requests", "serve_responses_2xx", "serve build session"] {
+        assert!(text.contains(needle), "report lacks {needle}");
+    }
+    let _ = std::fs::remove_file(&report);
+}
+
+#[test]
+fn idle_timeout_retires_the_daemon_cleanly() {
+    let mut daemon = Daemon::spawn(&["--idle-secs", "1"]);
+    assert_eq!(daemon.get("/healthz").0, 200);
+    let status = daemon.wait_for_exit();
+    assert!(status.success(), "idle exit status {status}");
+}

@@ -1,0 +1,133 @@
+//! Ingest-equals-batch, as a property: feeding random event batches
+//! through [`AnalyticsSession::ingest`] must leave the session in exactly
+//! the state a **cold** session built over the extended corpus would
+//! have — byte-identical case-table JSON and byte-identical `mpa-serve`
+//! view renders. This is the consistency contract the daemon's `/ingest`
+//! endpoint advertises; the serve crate's own integration tests pin the
+//! HTTP layer to the session, and this test pins the session to the cold
+//! batch run.
+//!
+//! Batches mix the two event streams: "no-op touch" snapshots (a device's
+//! tip config re-stated with one appended comment line, one minute later)
+//! and fresh tickets against random networks.
+
+use mpa::analytics::{AnalyticsSession, IngestBatch, SessionConfig};
+use mpa::config::{Snapshot, SnapshotMeta};
+use mpa::model::{DeviceId, TicketId, TicketKind, TicketSeverity, Timestamp};
+use mpa::prelude::*;
+use mpa_serve::views;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A snapshot that re-states `dev`'s newest config with one appended
+/// comment line, `bump` minutes after the device's current tip.
+fn touch_snapshot(ds: &Dataset, dev: DeviceId, bump: u64) -> Snapshot {
+    let metas = ds.archive.device_metas(dev);
+    let last = metas.last().expect("device has snapshots");
+    let tip = ds.archive.latest_at(dev, last.time).expect("tip snapshot exists");
+    let mut text = tip.text;
+    text.push_str("! serve-session probe\n");
+    Snapshot {
+        meta: SnapshotMeta {
+            device: dev,
+            time: Timestamp(last.time.0 + bump),
+            login: tip.meta.login,
+        },
+        text,
+    }
+}
+
+/// Build one batch from the picks: each device pick becomes a touch
+/// snapshot (times strictly increasing per device within the batch), each
+/// network pick a fresh ticket.
+fn build_batch(
+    ds: &Dataset,
+    dev_picks: &[usize],
+    net_picks: &[usize],
+    ticket_id_base: u32,
+) -> IngestBatch {
+    let devices: Vec<DeviceId> =
+        ds.networks.iter().flat_map(|n| n.devices.iter().map(|d| d.id)).collect();
+    let horizon = ds.period.total_minutes();
+    let mut bumps: BTreeMap<DeviceId, u64> = BTreeMap::new();
+    let snapshots = dev_picks
+        .iter()
+        .map(|&p| {
+            let dev = devices[p % devices.len()];
+            let bump = bumps.entry(dev).or_insert(0);
+            *bump += 1;
+            touch_snapshot(ds, dev, *bump)
+        })
+        .collect();
+    let tickets = net_picks
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let net = ds.networks[p % ds.networks.len()].id;
+            Ticket {
+                id: TicketId(ticket_id_base + i as u32),
+                network: net,
+                kind: TicketKind::MonitoringAlarm,
+                opened: Timestamp(horizon.saturating_sub(1 + i as u64)),
+                resolved: None,
+                devices: vec![],
+                severity: TicketSeverity::Medium,
+                symptom: "serve-session probe".to_string(),
+            }
+        })
+        .collect();
+    IngestBatch { snapshots, tickets }
+}
+
+/// Render every corpus-derived serve view. `/healthz` is excluded on
+/// purpose: it reports `events_applied`, which is session metadata (how
+/// the corpus got here), not corpus state.
+fn render_views(session: &mut AnalyticsSession) -> Vec<String> {
+    session.refresh();
+    let mut out = Vec::new();
+    let nets: Vec<NetworkId> = session.dataset().networks.iter().map(|n| n.id).collect();
+    for net in nets {
+        if let Some(v) = views::practices(session, net) {
+            out.push(v);
+        }
+    }
+    let analytics = session.analytics_cached().expect("just refreshed");
+    out.push(views::mi_ranking(analytics));
+    out.push(views::causal_summary(analytics));
+    out.push(views::predict_overview(session, analytics));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ingest_leaves_the_session_identical_to_a_cold_batch_run(
+        seed in 0u64..1_000,
+        dev_picks in proptest::collection::vec(0usize..1_000, 1..6),
+        net_picks in proptest::collection::vec(0usize..1_000, 0..4),
+    ) {
+        let dataset = Scenario::tiny().with_seed(seed).generate();
+        let config = SessionConfig::default();
+        let batch = build_batch(&dataset, &dev_picks, &net_picks, 800_000);
+
+        // Online path: resident session, one ingest.
+        let mut online = AnalyticsSession::new(dataset.clone(), config);
+        let outcome = online.ingest(batch.clone()).expect("valid batch accepted");
+        prop_assert_eq!(outcome.snapshots, batch.snapshots.len());
+        prop_assert_eq!(outcome.tickets, batch.tickets.len());
+
+        // Cold path: extend the corpus first, then build from scratch.
+        let mut extended = dataset;
+        for snap in batch.snapshots {
+            extended.archive.push(snap).expect("ordered snapshot");
+        }
+        extended.tickets.extend(batch.tickets);
+        let mut cold = AnalyticsSession::new(extended, config);
+
+        let online_table = serde_json::to_string(online.table()).expect("serializes");
+        let cold_table = serde_json::to_string(cold.table()).expect("serializes");
+        prop_assert_eq!(online_table, cold_table);
+        prop_assert_eq!(render_views(&mut online), render_views(&mut cold));
+    }
+}
