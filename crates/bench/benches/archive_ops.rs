@@ -1,0 +1,85 @@
+//! Criterion microbenches for the two archive hot paths the delta-native
+//! generator reshaped (DESIGN.md §15):
+//!
+//! * **intern** — `LineTable::intern` throughput via
+//!   `ArchiveBuilder::record_with`, on a corpus with the generation
+//!   workload's shape: most lines repeat across snapshots (the table hits
+//!   its hash map), a small fraction are novel (the table appends).
+//! * **merge_all** — the offset-partitioned shard merge, which shifts
+//!   interned ids by a per-shard constant instead of remapping every line
+//!   through a rebuilt table.
+//!
+//! ```text
+//! cargo bench --bench archive_ops
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpa_config::snapshot::Login;
+use mpa_config::{ArchiveBuilder, SnapshotArchive};
+use mpa_model::{DeviceId, Timestamp};
+
+/// A synthetic config text: `base` lines shared by every snapshot of the
+/// device plus a few lines that vary with `rev` (what an op edit does).
+fn config_text(dev: u32, rev: u32, base: usize) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("hostname dev-{dev}\n"));
+    for i in 0..base {
+        s.push_str(&format!("interface Ethernet{i}\n  description port {i}\n"));
+    }
+    s.push_str(&format!("snmp-server location rack-{}\n", rev % 7));
+    s.push_str(&format!("ntp server 10.0.{}.{}\n", rev % 5, rev % 251));
+    s
+}
+
+/// Build one shard archive: `devices` devices × `snaps` snapshots each.
+fn build_shard(shard: u32, devices: u32, snaps: u32) -> SnapshotArchive {
+    let mut b = ArchiveBuilder::new();
+    for d in 0..devices {
+        let dev = DeviceId(shard * 10_000 + d);
+        for rev in 0..snaps {
+            b.record_with(dev, Timestamp(u64::from(rev) * 3600), Login::new("op0"), |out| {
+                out.push_str(&config_text(dev.0, rev, 40));
+            });
+        }
+    }
+    b.finish()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archive_ops");
+    g.sample_size(20);
+
+    // Interning: 8 devices × 50 snapshots, ~44 lines each. Reuse one text
+    // corpus so the measurement is the builder, not format!.
+    let corpus: Vec<(DeviceId, Timestamp, String)> = (0..8u32)
+        .flat_map(|d| {
+            (0..50u32).map(move |rev| {
+                (DeviceId(d), Timestamp(u64::from(rev) * 3600), config_text(d, rev, 40))
+            })
+        })
+        .collect();
+    g.bench_function("intern/record_with_400_snapshots", |b| {
+        b.iter(|| {
+            let mut builder = ArchiveBuilder::new();
+            for (dev, time, text) in &corpus {
+                builder.record_with(*dev, *time, Login::new("op0"), |out| out.push_str(text));
+            }
+            builder.finish().n_interned_lines()
+        })
+    });
+
+    // Merging: 8 shards of 6 devices × 30 snapshots — the shape
+    // `Scenario::generate` hands `merge_all` (one shard per network).
+    let shards: Vec<SnapshotArchive> = (0..8).map(|s| build_shard(s, 6, 30)).collect();
+    g.bench_function("merge_all/8_shards", |b| {
+        b.iter_batched(
+            || shards.clone(),
+            |shards| SnapshotArchive::merge_all(shards).n_snapshots(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,7 +23,7 @@
 
 use mpa_metrics::pipeline::{infer_with_mode, InferMode};
 use mpa_metrics::DELTA_DEFAULT_MINUTES;
-use mpa_synth::Scenario;
+use mpa_synth::{GenMode, Scenario};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -41,6 +41,17 @@ pub struct PipelineRun {
     pub threads: usize,
     /// Dataset generation wall-clock seconds.
     pub generate_s: f64,
+    /// Generate sub-phase: wall seconds of the per-network parallel
+    /// simulation region (includes the workers' render/encode time).
+    pub simulate_s: f64,
+    /// Generate sub-phase: config text production + line interning,
+    /// **summed across workers** — can exceed `simulate_s` at N threads.
+    pub render_s: f64,
+    /// Generate sub-phase: archive encoding (sort, dedup, delta-encode),
+    /// summed across workers.
+    pub encode_s: f64,
+    /// Generate sub-phase: shard-archive merge wall seconds.
+    pub merge_s: f64,
     /// Case-table inference wall-clock seconds.
     pub infer_s: f64,
     /// MI ranking wall-clock seconds.
@@ -100,6 +111,8 @@ pub struct PipelineBench {
     pub archive_text_bytes: usize,
     /// Which inference engine the runs used (`"delta"` or `"full"`).
     pub infer_mode: String,
+    /// Which generation engine the runs used (`"delta"` or `"full"`).
+    pub gen_mode: String,
     /// One entry per benchmarked thread count.
     pub runs: Vec<PipelineRun>,
     /// Total-time ratio of the 1-thread baseline to the widest run. This is
@@ -156,13 +169,25 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Run the pipeline once at `threads` workers with the default generation
+/// engine; see [`run_pipeline_single_with`].
+pub fn run_pipeline_single(scenario: &Scenario, threads: usize, mode: InferMode) -> SingleRun {
+    run_pipeline_single_with(scenario, threads, mode, GenMode::default())
+}
+
 /// Run the pipeline once at `threads` workers and fingerprint the output.
 /// Restores the previously configured thread count before returning.
-pub fn run_pipeline_single(scenario: &Scenario, threads: usize, mode: InferMode) -> SingleRun {
+pub fn run_pipeline_single_with(
+    scenario: &Scenario,
+    threads: usize,
+    mode: InferMode,
+    gen_mode: GenMode,
+) -> SingleRun {
     let saved = mpa_exec::threads();
     mpa_exec::set_threads(threads);
     let counters_before = mpa_obs::counters::snapshot();
     let sched_before = mpa_obs::sched::snapshot();
+    let phases_before = mpa_obs::phases::snapshot();
 
     // Each phase is also wrapped in an obs span (free when no collector
     // is installed) so a `repro --bench-out ... --obs-out ...` run
@@ -171,7 +196,8 @@ pub fn run_pipeline_single(scenario: &Scenario, threads: usize, mode: InferMode)
     let (dataset, inference, mi, generate_s, infer_s, mi_ranking_s) =
         mpa_obs::span(&run_label, || {
             let t0 = Instant::now();
-            let dataset = mpa_obs::span("generate", || scenario.generate());
+            let dataset =
+                mpa_obs::span("generate", || scenario.generate_with_mode(gen_mode));
             let generate_s = t0.elapsed().as_secs_f64();
 
             let t1 = Instant::now();
@@ -205,11 +231,20 @@ pub fn run_pipeline_single(scenario: &Scenario, threads: usize, mode: InferMode)
     let busy = sched_after.region_busy_ns.saturating_sub(sched_before.region_busy_ns);
     let wall = sched_after.region_wall_ns.saturating_sub(sched_before.region_wall_ns);
     let effective_parallelism = if wall == 0 { 1.0 } else { busy as f64 / wall as f64 };
+    let phases =
+        mpa_obs::phases::snapshot_diff(&phases_before, &mpa_obs::phases::snapshot());
+    let phase_s = |name: &str| -> f64 {
+        phases.iter().find(|(n, _)| *n == name).map_or(0.0, |&(_, ns)| ns as f64 / 1e9)
+    };
 
     let single = SingleRun {
         run: PipelineRun {
             threads,
             generate_s,
+            simulate_s: phase_s("simulate"),
+            render_s: phase_s("render"),
+            encode_s: phase_s("encode"),
+            merge_s: phase_s("merge"),
             infer_s,
             mi_ranking_s,
             total_s: generate_s + infer_s + mi_ranking_s,
@@ -231,6 +266,16 @@ pub fn run_pipeline_single(scenario: &Scenario, threads: usize, mode: InferMode)
 pub fn assemble_pipeline_bench(
     scenario: &Scenario,
     mode: InferMode,
+    singles: &[SingleRun],
+) -> PipelineBench {
+    assemble_pipeline_bench_with(scenario, mode, GenMode::default(), singles)
+}
+
+/// [`assemble_pipeline_bench`] with an explicit generation engine label.
+pub fn assemble_pipeline_bench_with(
+    scenario: &Scenario,
+    mode: InferMode,
+    gen_mode: GenMode,
     singles: &[SingleRun],
 ) -> PipelineBench {
     assert!(!singles.is_empty(), "need at least one run");
@@ -266,6 +311,7 @@ pub fn assemble_pipeline_bench(
         archive_total_bytes: singles.last().expect("non-empty").archive_total_bytes,
         archive_text_bytes: singles.last().expect("non-empty").archive_text_bytes,
         infer_mode: mode.label().to_string(),
+        gen_mode: gen_mode.label().to_string(),
         speedup: phase_speedup(|r| r.total_s),
         generate_speedup: phase_speedup(|r| r.generate_s),
         infer_speedup: phase_speedup(|r| r.infer_s),
@@ -384,6 +430,41 @@ mod tests {
             "effective_parallelism missing from artifact"
         );
         assert_eq!(run_pipeline_bench(&Scenario::tiny(), &[1]).infer_mode, "delta");
+    }
+
+    #[test]
+    fn gen_mode_and_generate_sub_phases_are_recorded() {
+        let scenario = Scenario::tiny();
+        let single =
+            run_pipeline_single_with(&scenario, 1, InferMode::default(), GenMode::Delta);
+        let r = &single.run;
+        // Delta generation renders and encodes real work; merge/simulate are
+        // wall regions that always tick.
+        assert!(r.simulate_s > 0.0, "simulate phase must accumulate");
+        assert!(r.render_s > 0.0, "render phase must accumulate");
+        assert!(r.encode_s > 0.0, "encode phase must accumulate");
+        assert!(r.merge_s >= 0.0 && r.merge_s.is_finite());
+        // Render + encode happen inside the simulate wall region, so at one
+        // thread they cannot exceed it (modulo timer noise).
+        assert!(
+            r.render_s + r.encode_s <= r.simulate_s * 1.05 + 0.01,
+            "worker-summed sub-phases exceed the 1-thread simulate wall: {} + {} vs {}",
+            r.render_s,
+            r.encode_s,
+            r.simulate_s
+        );
+        let bench = assemble_pipeline_bench_with(
+            &scenario,
+            InferMode::default(),
+            GenMode::Full,
+            &[single],
+        );
+        assert_eq!(bench.gen_mode, "full");
+        let json = serde_json::to_string(&bench).expect("serializes");
+        for key in ["gen_mode", "simulate_s", "render_s", "encode_s", "merge_s"] {
+            assert!(json.contains(key), "{key} missing from artifact");
+        }
+        assert_eq!(run_pipeline_bench(&Scenario::tiny(), &[1]).gen_mode, "delta");
     }
 
     #[test]

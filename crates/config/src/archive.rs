@@ -118,6 +118,37 @@ impl LineTable {
         self.insert_new(line)
     }
 
+    /// Append another table's lines wholesale, assigning them the next
+    /// contiguous id range, and return the base offset (`other`'s local id
+    /// `i` is now `base + i` here). Lines present in both tables are *not*
+    /// deduplicated — each keeps its own id — but [`Self::intern`] still
+    /// canonicalizes lookups to the lowest matching id because every hash
+    /// bucket's candidates remain in ascending id order (shards are
+    /// appended in order, and each shard's bucket was ascending).
+    ///
+    /// This is the offset-partitioned merge primitive: pure memcpy plus a
+    /// bucket extension, no per-line hashing or intern probes.
+    fn append_table(&mut self, other: LineTable) -> u32 {
+        let base = u32::try_from(self.spans.len()).expect("line table overflow");
+        let shift = u32::try_from(self.text.len()).expect("line arena overflow");
+        self.text.push_str(&other.text);
+        let _: u32 = u32::try_from(self.text.len()).expect("line arena overflow");
+        self.spans.extend(other.spans.iter().map(|&(s, e)| (s + shift, e + shift)));
+        // Bucket order across hash keys cannot affect the result: distinct
+        // hashes land in distinct buckets, and within one bucket the
+        // shard's candidate list is appended wholesale, preserving order.
+        // mpa-lint: allow(R2) -- per-key bucket merge; cross-key iteration order is immaterial
+        for (hash, ids) in other.index { self.extend_bucket(hash, &ids, base) }
+        mpa_obs::counters::ARCHIVE_MERGE_TABLE_LINES.add(other.spans.len() as u64);
+        base
+    }
+
+    /// Append one shard bucket's candidate ids (shifted by `base`) to the
+    /// matching bucket of this table's intern index.
+    fn extend_bucket(&mut self, hash: u64, ids: &[u32], base: u32) {
+        self.index.entry(hash).or_default().extend(ids.iter().map(|&i| i + base));
+    }
+
     fn get(&self, id: LineId) -> &str {
         let (start, end) = self.spans[id.0 as usize];
         &self.text[start as usize..end as usize]
@@ -320,9 +351,24 @@ impl DeviceHistory {
         self.base.len() + self.delta_ids.len()
     }
 
-    /// Rewrite every stored line id through `remap` in place (shard-local →
-    /// global ids during [`SnapshotArchive::merge_all`]), returning the
-    /// number of ids rewritten.
+    /// Add a constant offset to every stored line id in place (shard-local
+    /// → offset-partitioned global ids during
+    /// [`SnapshotArchive::merge_all`], phase 2). Branch-free linear pass;
+    /// no table lookups.
+    fn shift_ids(&mut self, base: u32) {
+        fn shift_seq(seq: &mut [LineId], base: u32) {
+            for id in seq.iter_mut() {
+                id.0 += base;
+            }
+        }
+        shift_seq(&mut self.base, base);
+        shift_seq(&mut self.delta_ids, base);
+        shift_seq(&mut self.tip, base);
+    }
+
+    /// Rewrite every stored line id through `remap` in place (used by the
+    /// pairwise [`SnapshotArchive::merge`], which re-interns into the
+    /// absorbing table), returning the number of ids rewritten.
     fn remap_ids(&mut self, remap: &[LineId]) -> u64 {
         fn map_seq(seq: &mut [LineId], remap: &[LineId]) -> u64 {
             for id in seq.iter_mut() {
@@ -728,57 +774,61 @@ impl SnapshotArchive {
         let remap: Vec<LineId> =
             other_table.line_strs().map(|l| self.table.intern(l)).collect();
         for (dev, mut hist) in other_devices {
-            hist.remap_ids(&remap);
+            let n = hist.remap_ids(&remap);
+            mpa_obs::counters::ARCHIVE_MERGE_REMAPPED_LINES.add(n);
             let prev = self.by_device.insert(dev, hist);
             assert!(prev.is_none(), "device {dev:?} present in both merged archives");
         }
     }
 
     /// Deterministically merge many device-disjoint shard archives (e.g.
-    /// one per network) into one.
+    /// one per network) into one, with **offset-partitioned** global id
+    /// allocation: shard `s`'s local id `i` becomes global id
+    /// `base(s) + i`, where `base(s)` is the total line count of the
+    /// shards before it.
     ///
-    /// Equivalent to folding [`Self::merge`] into an empty archive in shard
-    /// order — bit-for-bit, including the global table's id assignment and
-    /// the interning counters — but restructured so the dominant cost
-    /// parallelizes instead of re-interning every line of every shard on
-    /// one thread:
-    ///
-    /// 1. **Table union (sequential, small).** Each shard's table holds
-    ///    only its *distinct* lines, so interning the tables in shard order
-    ///    costs O(unique lines) — a tiny fraction of the stored id mass —
-    ///    and yields one old-id → global-id remap vector per shard. Shard
-    ///    tables are dropped here, as soon as they are absorbed.
-    /// 2. **Id remap (parallel).** Each shard's device histories are
-    ///    rewritten **in place** through its remap vector on the worker
-    ///    threads (`mpa_exec::par_map_owned`): no re-hashing, no fresh
-    ///    allocations, and each shard's buffers move straight into the
-    ///    merged archive, so peak memory stays near one archive's worth.
+    /// 1. **Table concatenation (sequential, memcpy-bound).** Each shard's
+    ///    text arena and spans are appended to the global table and its
+    ///    hash buckets extended with the shifted ids — no re-hashing of
+    ///    line text, no per-line intern probes. A line shared by several
+    ///    shards is stored once per shard; lookups through
+    ///    [`LineTable::intern`] (the serve-session ingest path) still
+    ///    dedup, resolving to the lowest matching id, because bucket
+    ///    candidates stay in ascending id order. The cost counter is
+    ///    `archive_merge_table_lines`: O(distinct lines per shard).
+    /// 2. **Offset shift (parallel).** Every stored id of a shard's device
+    ///    histories is incremented by the shard's constant base on the
+    ///    worker threads — a branch-free linear pass with no table
+    ///    lookups, replacing the old per-id remap through a translation
+    ///    vector (which cost O(total delta-stream ids) and dominated the
+    ///    merge at paper scale: 99.2M remapped ids).
     ///
     /// Both phases are pure functions of the shard order, so the result is
-    /// identical at any thread count.
+    /// identical at any thread count. Per-device semantics are unchanged —
+    /// a history's ids all come from one shard, so materialization,
+    /// replay, dedup and serde round-trips behave exactly as before; only
+    /// the global id values (an internal naming) differ from what a
+    /// pairwise [`Self::merge`] fold would assign.
     ///
     /// # Panics
     /// Panics if two shards share a device.
     pub fn merge_all(shards: Vec<SnapshotArchive>) -> SnapshotArchive {
         let mut table = LineTable::default();
-        let parts: Vec<(Vec<LineId>, BTreeMap<DeviceId, DeviceHistory>)> = shards
+        let parts: Vec<(u32, BTreeMap<DeviceId, DeviceHistory>)> = shards
             .into_iter()
             .map(|shard| {
-                let remap: Vec<LineId> =
-                    shard.table.line_strs().map(|l| table.intern(l)).collect();
-                (remap, shard.by_device)
+                let base = table.append_table(shard.table);
+                (base, shard.by_device)
             })
             .collect();
-        let remapped = mpa_exec::par_map_owned(parts, |_, (remap, mut by_device)| {
-            let mut n = 0u64;
+        let shifted = mpa_exec::par_map_owned(parts, |_, (base, mut by_device)| {
             for hist in by_device.values_mut() {
-                n += hist.remap_ids(&remap);
+                hist.shift_ids(base);
             }
-            mpa_obs::counters::ARCHIVE_MERGE_REMAPPED_LINES.add(n);
             by_device
         });
         let mut by_device: BTreeMap<DeviceId, DeviceHistory> = BTreeMap::new();
-        for shard in remapped {
+        for shard in shifted {
             for (dev, hist) in shard {
                 let prev = by_device.insert(dev, hist);
                 assert!(prev.is_none(), "device {dev:?} present in multiple merged shards");
@@ -883,11 +933,17 @@ impl Deserialize for SnapshotArchive {
 /// builder records each snapshot's interned line sequence and defers
 /// sorting, adjacent-duplicate dropping and delta encoding to
 /// [`ArchiveBuilder::finish`]. A single render buffer is reused across all
-/// snapshots of the network.
+/// snapshots of the network, and the line-id sequences of *all* pending
+/// snapshots live in one pooled arena (`ids`) addressed by per-snapshot
+/// spans — at paper scale the old one-`Vec<LineId>`-per-snapshot layout
+/// cost 531k short-lived allocations in the generate hot loop.
 #[derive(Debug, Default)]
 pub struct ArchiveBuilder {
     table: LineTable,
     scratch: String,
+    /// Pooled line-id arena; every pending snapshot's sequence is a span
+    /// of this vector. Append-only until `finish`.
+    ids: Vec<LineId>,
     pending: BTreeMap<DeviceId, Vec<PendingSnapshot>>,
 }
 
@@ -896,7 +952,15 @@ struct PendingSnapshot {
     time: Timestamp,
     login: Login,
     text_len: usize,
-    lines: Vec<LineId>,
+    /// Span of this snapshot's line ids within the builder's pooled arena.
+    off: u32,
+    len: u32,
+}
+
+impl PendingSnapshot {
+    fn range(&self) -> std::ops::Range<usize> {
+        self.off as usize..(self.off + self.len) as usize
+    }
 }
 
 impl ArchiveBuilder {
@@ -915,39 +979,186 @@ impl ArchiveBuilder {
         render: impl FnOnce(&mut String),
     ) {
         self.scratch.clear();
-        render(&mut self.scratch);
-        let lines: Vec<LineId> =
-            split_lines(&self.scratch).map(|l| self.table.intern(l)).collect();
-        self.pending.entry(device).or_default().push(PendingSnapshot {
-            time,
-            login,
-            text_len: self.scratch.len(),
-            lines,
-        });
+        let mut scratch = std::mem::take(&mut self.scratch);
+        render(&mut scratch);
+        let off = self.arena_off();
+        for l in split_lines(&scratch) {
+            let id = self.table.intern(l);
+            self.ids.push(id);
+        }
+        self.push_pending(device, time, login, scratch.len(), off);
+        self.scratch = scratch;
+    }
+
+    /// Record one snapshot whose interned line sequence the caller
+    /// produces directly (the delta-native generator splices cached chunk
+    /// sequences instead of rendering text): `fill` **appends** the
+    /// snapshot's line ids to the pooled arena it is handed. `text_len`
+    /// must be the byte length of the text those lines materialize to,
+    /// trailing newline included.
+    pub fn record_lines_with(
+        &mut self,
+        device: DeviceId,
+        time: Timestamp,
+        login: Login,
+        text_len: usize,
+        fill: impl FnOnce(&mut Vec<LineId>),
+    ) {
+        let off = self.arena_off();
+        fill(&mut self.ids);
+        self.push_pending(device, time, login, text_len, off);
+    }
+
+    /// Intern `text` line by line, appending the ids to `out` (which may
+    /// be the caller's own buffer — this does not touch the pooled arena).
+    /// Used by [`RenderCache`] to intern novel chunk text through the
+    /// builder's table. `text` must be non-empty and newline-terminated
+    /// (chunk renderers guarantee both).
+    pub fn intern_lines_into(&mut self, text: &str, out: &mut Vec<LineId>) {
+        debug_assert!(!text.is_empty() && text.ends_with('\n'));
+        for l in split_lines(text) {
+            out.push(self.table.intern(l));
+        }
+    }
+
+    fn arena_off(&self) -> u32 {
+        u32::try_from(self.ids.len()).expect("pending id arena overflow")
+    }
+
+    fn push_pending(
+        &mut self,
+        device: DeviceId,
+        time: Timestamp,
+        login: Login,
+        text_len: usize,
+        off: u32,
+    ) {
+        let len = self.arena_off() - off;
+        self.pending
+            .entry(device)
+            .or_default()
+            .push(PendingSnapshot { time, login, text_len, off, len });
     }
 
     /// Sort per device by time (stable, preserving event order within equal
     /// timestamps), drop time-adjacent duplicates (an NMS only commits a
     /// snapshot when the text actually changed), and delta-encode.
     pub fn finish(self) -> SnapshotArchive {
+        let ids = self.ids;
         let mut by_device = BTreeMap::new();
         for (dev, mut pending) in self.pending {
             pending.sort_by_key(|p| p.time);
-            pending.dedup_by(|b, a| a.lines == b.lines && a.text_len == b.text_len);
+            pending.dedup_by(|b, a| {
+                a.text_len == b.text_len && ids[a.range()] == ids[b.range()]
+            });
             let mut hist = DeviceHistory::default();
             for (i, snap) in pending.into_iter().enumerate() {
+                let lines = &ids[snap.range()];
                 if i == 0 {
-                    hist.base.clone_from(&snap.lines);
+                    hist.base.extend_from_slice(lines);
                 } else {
-                    hist.push_delta(&LineDelta::between(&hist.tip, &snap.lines));
+                    hist.push_delta(&LineDelta::between(&hist.tip, lines));
                 }
-                hist.tip = snap.lines;
+                hist.tip.clear();
+                hist.tip.extend_from_slice(lines);
                 hist.text_lens.push(snap.text_len);
                 hist.metas.push(SnapshotMeta { device: dev, time: snap.time, login: snap.login });
             }
             by_device.insert(dev, hist);
         }
         SnapshotArchive { table: self.table, by_device }
+    }
+}
+
+/// Per-network render cache for the delta-native generator: maps a chunk's
+/// rendered text to its interned line-id sequence, so revisiting a chunk
+/// state (ops toggle between a handful of values) skips per-line interning
+/// entirely.
+///
+/// Keys are the exact chunk bytes — the candidate's stored text is compared
+/// on every probe, so hash collisions cannot alias distinct chunks — and
+/// both texts and id sequences live in packed arenas (two `Vec`s total,
+/// regardless of entry count). Slots are returned as dense `u32` handles
+/// for the generator's per-device chunk maps.
+///
+/// All `gen_*` counters are maintained here, which gives the balance
+/// invariant the CLI tests assert:
+/// `gen_render_cache_hits + gen_render_cache_misses == gen_chunks_rendered`.
+#[derive(Debug, Default)]
+pub struct RenderCache {
+    /// Arena of cached chunk texts, concatenated.
+    text: String,
+    /// Arena of cached line-id sequences, concatenated.
+    ids: Vec<LineId>,
+    /// Per-slot `(text_start, text_end, ids_start, ids_end)`.
+    slots: Vec<(u32, u32, u32, u32)>,
+    /// Text-hash → candidate slots (lookup-only; exact compare resolves).
+    index: HashMap<u64, Vec<u32>>,
+}
+
+impl RenderCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The slot holding `chunk_text`'s interned line sequence, interning
+    /// through `builder` on first sight. `chunk_text` must be non-empty
+    /// (callers skip empty chunk renders).
+    pub fn slot_for(&mut self, builder: &mut ArchiveBuilder, chunk_text: &str) -> u32 {
+        debug_assert!(!chunk_text.is_empty());
+        mpa_obs::counters::GEN_CHUNKS_RENDERED.incr();
+        mpa_obs::counters::GEN_BYTES_RENDERED.add(chunk_text.len() as u64);
+        let hash = hash_line(chunk_text);
+        let hit = self.index.get(&hash).and_then(|cands| {
+            cands.iter().copied().find(|&slot| self.slot_text(slot) == chunk_text)
+        });
+        if let Some(slot) = hit {
+            mpa_obs::counters::GEN_RENDER_CACHE_HITS.incr();
+            mpa_obs::counters::GEN_LINES_RENDERED.add(self.ids(slot).len() as u64);
+            return slot;
+        }
+        mpa_obs::counters::GEN_RENDER_CACHE_MISSES.incr();
+        let slot = u32::try_from(self.slots.len()).expect("render cache overflow");
+        let text_start = u32::try_from(self.text.len()).expect("render cache arena overflow");
+        self.text.push_str(chunk_text);
+        let text_end = u32::try_from(self.text.len()).expect("render cache arena overflow");
+        let ids_start = u32::try_from(self.ids.len()).expect("render cache arena overflow");
+        let mut ids = std::mem::take(&mut self.ids);
+        builder.intern_lines_into(chunk_text, &mut ids);
+        self.ids = ids;
+        let ids_end = u32::try_from(self.ids.len()).expect("render cache arena overflow");
+        mpa_obs::counters::GEN_LINES_RENDERED.add((ids_end - ids_start) as u64);
+        self.slots.push((text_start, text_end, ids_start, ids_end));
+        self.index.entry(hash).or_default().push(slot);
+        slot
+    }
+
+    /// The interned line-id sequence of a slot.
+    pub fn ids(&self, slot: u32) -> &[LineId] {
+        let (_, _, s, e) = self.slots[slot as usize];
+        &self.ids[s as usize..e as usize]
+    }
+
+    /// Byte length of a slot's chunk text (newline-terminated).
+    pub fn text_len(&self, slot: u32) -> usize {
+        let (s, e, _, _) = self.slots[slot as usize];
+        (e - s) as usize
+    }
+
+    /// Number of distinct chunk texts cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot_text(&self, slot: u32) -> &str {
+        let (s, e, _, _) = self.slots[slot as usize];
+        &self.text[s as usize..e as usize]
     }
 }
 
@@ -1065,6 +1276,84 @@ mod tests {
 
         assert_eq!(built.device_history(DeviceId(3)), pushed.device_history(DeviceId(3)));
         assert_eq!(built.total_bytes(), pushed.total_bytes());
+    }
+
+    #[test]
+    fn record_lines_with_matches_record_with() {
+        // Splicing cached chunk sequences through the render cache must
+        // produce the same archive as rendering full text, including the
+        // intern table (chunk texts concatenate to the full documents).
+        let chunks = ["hostname h\n!\n", "vlan 10\n name v10\n!\n"];
+        let docs: [String; 3] = [
+            chunks[0].to_string(),
+            format!("{}{}", chunks[0], chunks[1]),
+            chunks[0].to_string(),
+        ];
+
+        let mut full = ArchiveBuilder::new();
+        for (t, doc) in docs.iter().enumerate() {
+            full.record_with(DeviceId(1), Timestamp(t as u64), Login::new("x"), |s| {
+                s.push_str(doc)
+            });
+        }
+
+        let mut delta = ArchiveBuilder::new();
+        let mut cache = RenderCache::new();
+        let s0 = cache.slot_for(&mut delta, chunks[0]);
+        delta.record_lines_with(DeviceId(1), Timestamp(0), Login::new("x"), docs[0].len(), {
+            let ids: Vec<LineId> = cache.ids(s0).to_vec();
+            move |out| out.extend_from_slice(&ids)
+        });
+        let s1 = cache.slot_for(&mut delta, chunks[1]);
+        assert_eq!(cache.text_len(s0) + cache.text_len(s1), docs[1].len());
+        delta.record_lines_with(DeviceId(1), Timestamp(1), Login::new("x"), docs[1].len(), {
+            let mut ids: Vec<LineId> = cache.ids(s0).to_vec();
+            ids.extend_from_slice(cache.ids(s1));
+            move |out| out.extend_from_slice(&ids)
+        });
+        // Revisit of the first state: pure cache hits.
+        let s0_again = cache.slot_for(&mut delta, chunks[0]);
+        assert_eq!(s0, s0_again, "revisited chunk text must hit its slot");
+        delta.record_lines_with(DeviceId(1), Timestamp(2), Login::new("x"), docs[2].len(), {
+            let ids: Vec<LineId> = cache.ids(s0).to_vec();
+            move |out| out.extend_from_slice(&ids)
+        });
+
+        let full = full.finish();
+        let delta = delta.finish();
+        assert_eq!(full, delta, "delta-spliced archive must equal full-render archive");
+        assert_eq!(
+            serde_json::to_string(&full).unwrap(),
+            serde_json::to_string(&delta).unwrap()
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn merge_all_uses_offset_partitioned_ids() {
+        let mut a = SnapshotArchive::new();
+        a.push(snap(1, 0, "x", "shared\na-only\n")).unwrap();
+        let mut b = SnapshotArchive::new();
+        b.push(snap(2, 0, "y", "shared\nb-only\n")).unwrap();
+        let (a_lines, b_lines) = (a.n_interned_lines(), b.n_interned_lines());
+        let before = mpa_obs::counters::snapshot();
+        let merged = SnapshotArchive::merge_all(vec![a, b]);
+        let diff = mpa_obs::counters::snapshot_diff(&before, &mpa_obs::counters::snapshot());
+        let get = |name: &str| diff.iter().find(|(n, _)| *n == name).unwrap().1;
+        // Table concatenation: every shard line appended, nothing remapped.
+        assert!(get("archive_merge_table_lines") >= (a_lines + b_lines) as u64);
+        // Duplicated "shared" keeps one id per shard; texts reconstruct.
+        assert_eq!(merged.n_interned_lines(), a_lines + b_lines);
+        assert_eq!(merged.device_texts(DeviceId(1)), vec!["shared\na-only\n"]);
+        assert_eq!(merged.device_texts(DeviceId(2)), vec!["shared\nb-only\n"]);
+        // Lookup interning still canonicalizes to the lowest id: a fresh
+        // push of "shared" must not grow the table.
+        let mut merged = merged;
+        let lines_before = merged.n_interned_lines();
+        merged.push(snap(3, 1, "z", "shared\n")).unwrap();
+        assert_eq!(merged.n_interned_lines(), lines_before);
+        assert_eq!(merged.device_texts(DeviceId(3)), vec!["shared\n"]);
     }
 
     #[test]

@@ -33,6 +33,10 @@
 //! * [`archive`] — the delta-encoded snapshot store: per-archive line
 //!   interning, base-plus-deltas histories, exact bit-for-bit
 //!   reconstruction.
+//! * [`chunk`] — stable chunk decomposition of rendered documents: one key
+//!   per stanza/wrapper, ordered like the document, with dirty-marking
+//!   helpers. This is the substrate of delta-native *generation*
+//!   (`--gen-mode delta`): the simulator re-renders only dirty chunks.
 //! * [`incremental`] — delta-native inference: an incremental stanza index
 //!   over the archive's line-id deltas that derives `diff_configs`-
 //!   equivalent change records while re-parsing only changed segments.
@@ -44,6 +48,7 @@
 
 pub mod addr;
 pub mod archive;
+pub mod chunk;
 pub mod diff;
 pub mod error;
 pub mod facts;
@@ -55,7 +60,8 @@ pub mod snapshot;
 pub mod typemap;
 
 pub use archive::{
-    ArchiveBuilder, DeltaCursor, DeltaRef, LineDelta, LineId, ReplayBuffer, SnapshotArchive,
+    ArchiveBuilder, DeltaCursor, DeltaRef, LineDelta, LineId, RenderCache, ReplayBuffer,
+    SnapshotArchive,
 };
 /// Compatibility alias: the archive is the delta-encoded store.
 pub use archive::SnapshotArchive as Archive;

@@ -13,6 +13,14 @@
 //! bytes — a property both the snapshot-diff tests and the paper's "if at
 //! least one stanza differs" change definition rely on.
 //!
+//! Both dialects are factored into *chunk* renderers — one function per
+//! top-level stanza (or wrapper line, in the brace dialect) — and
+//! [`render_config`] is nothing more than the chunks emitted in document
+//! order. [`crate::chunk`] exposes the same chunk functions keyed by
+//! [`crate::chunk::ChunkKey`], which is what makes delta-native generation
+//! (`--gen-mode delta`) byte-identical to the full render by construction:
+//! there is exactly one renderer per chunk, shared by both paths.
+//!
 //! The two dialects deliberately disagree about where VLAN membership lives:
 //! the block-keyword dialect puts `switchport access vlan N` inside the
 //! *interface* stanza, while the brace dialect lists member interfaces
@@ -56,63 +64,86 @@ pub fn parse_interface_name(name: &str) -> Option<u16> {
     tail.parse().ok()
 }
 
-mod block_keyword {
+pub(crate) mod block_keyword {
     use super::*;
 
-    pub fn render(cfg: &DeviceConfig, out: &mut String) {
-        let mut sect = |s: &str| {
-            out.push_str(s);
-            if !s.ends_with('\n') {
-                out.push('\n');
-            }
-            out.push_str("!\n");
-        };
+    /// Append one flat stanza followed by the `!` separator line.
+    fn sect(out: &mut String, s: &str) {
+        out.push_str(s);
+        if !s.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str("!\n");
+    }
 
-        sect(&format!("hostname {}", cfg.hostname));
+    pub(crate) fn hostname(cfg: &DeviceConfig, out: &mut String) {
+        sect(out, &format!("hostname {}", cfg.hostname));
+    }
 
+    pub(crate) fn ntp(cfg: &DeviceConfig, out: &mut String) {
         for server in &cfg.ntp_servers {
-            sect(&format!("ntp server {server}"));
+            sect(out, &format!("ntp server {server}"));
         }
+    }
+
+    pub(crate) fn snmp(cfg: &DeviceConfig, out: &mut String) {
         if let Some(comm) = &cfg.snmp_community {
-            sect(&format!("snmp-server community {comm}"));
+            sect(out, &format!("snmp-server community {comm}"));
         }
-        for (name, u) in &cfg.users {
-            sect(&format!("username {name} role {}", u.role));
+    }
+
+    pub(crate) fn user(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(u) = cfg.users.get(name) {
+            sect(out, &format!("username {name} role {}", u.role));
         }
+    }
+
+    pub(crate) fn sflow(cfg: &DeviceConfig, out: &mut String) {
         if let Some(sf) = &cfg.sflow {
-            sect(&format!("sflow collector {} rate {}", sf.collector, sf.rate));
+            sect(out, &format!("sflow collector {} rate {}", sf.collector, sf.rate));
         }
+    }
+
+    pub(crate) fn features(cfg: &DeviceConfig, out: &mut String) {
         if cfg.features.spanning_tree {
-            sect("spanning-tree mode rapid-pvst");
+            sect(out, "spanning-tree mode rapid-pvst");
         }
         if cfg.features.lacp {
-            sect("lacp system-priority 32768");
+            sect(out, "lacp system-priority 32768");
         }
         if cfg.features.udld {
-            sect("udld enable");
+            sect(out, "udld enable");
         }
         if cfg.features.dhcp_relay {
-            sect("ip dhcp relay enable");
+            sect(out, "ip dhcp relay enable");
         }
+    }
 
-        for (id, v) in &cfg.vlans {
-            sect(&format!("vlan {id}\n name {}", v.name));
+    pub(crate) fn vlan(cfg: &DeviceConfig, id: u16, out: &mut String) {
+        if let Some(v) = cfg.vlans.get(&id) {
+            sect(out, &format!("vlan {id}\n name {}", v.name));
         }
+    }
 
-        for (name, acl) in &cfg.acls {
+    pub(crate) fn acl(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(acl) = cfg.acls.get(name) {
             let mut s = format!("ip access-list extended {name}");
             for r in &acl.rules {
                 let act = if r.permit { "permit" } else { "deny" };
                 s.push_str(&format!("\n {} {} any any eq {}", act, r.protocol, r.port));
             }
-            sect(&s);
+            sect(out, &s);
         }
+    }
 
-        for (name, q) in &cfg.qos {
-            sect(&format!("class-map {name}\n set dscp {}", q.dscp));
+    pub(crate) fn qos(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(q) = cfg.qos.get(name) {
+            sect(out, &format!("class-map {name}\n set dscp {}", q.dscp));
         }
+    }
 
-        for (&port, ifc) in &cfg.interfaces {
+    pub(crate) fn iface(cfg: &DeviceConfig, port: u16, out: &mut String) {
+        if let Some(ifc) = cfg.interfaces.get(&port) {
             let mut s = format!("interface {}", interface_name(cfg.dialect, port));
             if !ifc.description.is_empty() {
                 s.push_str(&format!("\n description {}", ifc.description));
@@ -127,41 +158,87 @@ mod block_keyword {
             if !ifc.enabled {
                 s.push_str("\n shutdown");
             }
-            sect(&s);
+            sect(out, &s);
         }
+    }
 
+    pub(crate) fn ospf(cfg: &DeviceConfig, out: &mut String) {
         if let Some(ospf) = &cfg.ospf {
             let mut s = format!("router ospf {}", ospf.process);
             for n in &ospf.networks {
                 s.push_str(&format!("\n network {n} area 0"));
             }
-            sect(&s);
+            sect(out, &s);
         }
+    }
+
+    pub(crate) fn bgp(cfg: &DeviceConfig, out: &mut String) {
         if let Some(bgp) = &cfg.bgp {
             let mut s = format!("router bgp {}", bgp.local_as);
             for (ip, ras) in &bgp.neighbors {
                 s.push_str(&format!("\n neighbor {ip} remote-as {ras}"));
             }
-            sect(&s);
+            sect(out, &s);
         }
+    }
 
-        for (name, p) in &cfg.pools {
+    pub(crate) fn pool(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(p) = cfg.pools.get(name) {
             let mut s = format!("pool {name}\n monitor {}", p.monitor);
             for m in &p.members {
                 s.push_str(&format!("\n member {m}"));
             }
-            sect(&s);
+            sect(out, &s);
+        }
+    }
+
+    /// Full render: the chunks above, in document order. `chunk_keys`
+    /// enumerates exactly this sequence.
+    pub fn render(cfg: &DeviceConfig, out: &mut String) {
+        hostname(cfg, out);
+        ntp(cfg, out);
+        snmp(cfg, out);
+        for name in cfg.users.keys() {
+            user(cfg, name, out);
+        }
+        sflow(cfg, out);
+        features(cfg, out);
+        for &id in cfg.vlans.keys() {
+            vlan(cfg, id, out);
+        }
+        for name in cfg.acls.keys() {
+            acl(cfg, name, out);
+        }
+        for name in cfg.qos.keys() {
+            qos(cfg, name, out);
+        }
+        for &port in cfg.interfaces.keys() {
+            iface(cfg, port, out);
+        }
+        ospf(cfg, out);
+        bgp(cfg, out);
+        for name in cfg.pools.keys() {
+            pool(cfg, name, out);
         }
     }
 }
 
-mod brace_hierarchy {
+pub(crate) mod brace_hierarchy {
     use super::*;
     use std::fmt::Write as _;
 
-    pub fn render(cfg: &DeviceConfig, out: &mut String) {
-        let mut w = Writer { out, depth: 0 };
+    /// Does the `protocols { ... }` wrapper appear at all?
+    pub(crate) fn has_protocols(cfg: &DeviceConfig) -> bool {
+        cfg.bgp.is_some()
+            || cfg.ospf.is_some()
+            || cfg.sflow.is_some()
+            || cfg.features.spanning_tree
+            || cfg.features.lacp
+            || cfg.features.udld
+    }
 
+    pub(crate) fn system(cfg: &DeviceConfig, out: &mut String) {
+        let mut w = Writer::at(out, 0);
         w.open("system");
         w.leaf(&format!("host-name {}", cfg.hostname));
         if !cfg.users.is_empty() {
@@ -181,152 +258,280 @@ mod brace_hierarchy {
             w.close();
         }
         w.close();
+    }
 
+    pub(crate) fn snmp(cfg: &DeviceConfig, out: &mut String) {
         if let Some(comm) = &cfg.snmp_community {
+            let mut w = Writer::at(out, 0);
             w.open("snmp");
             w.leaf(&format!("community {comm}"));
             w.close();
         }
+    }
 
+    pub(crate) fn if_open(cfg: &DeviceConfig, out: &mut String) {
         if !cfg.interfaces.is_empty() {
-            w.open("interfaces");
-            for (&port, ifc) in &cfg.interfaces {
-                w.open(&interface_name(cfg.dialect, port));
-                if !ifc.description.is_empty() {
-                    w.leaf(&format!("description \"{}\"", ifc.description));
-                }
-                w.leaf(&format!("mtu {}", ifc.mtu));
-                if let Some(acl) = &ifc.acl_in {
-                    w.leaf(&format!("filter input {acl}"));
-                }
-                if !ifc.enabled {
-                    w.leaf("disable");
-                }
-                w.close();
+            out.push_str("interfaces {\n");
+        }
+    }
+
+    pub(crate) fn iface(cfg: &DeviceConfig, port: u16, out: &mut String) {
+        if let Some(ifc) = cfg.interfaces.get(&port) {
+            let mut w = Writer::at(out, 1);
+            w.open(&interface_name(cfg.dialect, port));
+            if !ifc.description.is_empty() {
+                w.leaf(&format!("description \"{}\"", ifc.description));
+            }
+            w.leaf(&format!("mtu {}", ifc.mtu));
+            if let Some(acl) = &ifc.acl_in {
+                w.leaf(&format!("filter input {acl}"));
+            }
+            if !ifc.enabled {
+                w.leaf("disable");
             }
             w.close();
         }
+    }
 
+    pub(crate) fn if_close(cfg: &DeviceConfig, out: &mut String) {
+        if !cfg.interfaces.is_empty() {
+            out.push_str("}\n");
+        }
+    }
+
+    pub(crate) fn vl_open(cfg: &DeviceConfig, out: &mut String) {
         if !cfg.vlans.is_empty() {
-            w.open("vlans");
-            for (id, v) in &cfg.vlans {
-                w.open(&v.name);
-                w.leaf(&format!("vlan-id {id}"));
-                for port in cfg.vlan_members(*id) {
-                    w.leaf(&format!("interface {}", interface_name(cfg.dialect, port)));
-                }
-                w.close();
+            out.push_str("vlans {\n");
+        }
+    }
+
+    pub(crate) fn vlan(cfg: &DeviceConfig, id: u16, out: &mut String) {
+        if let Some(v) = cfg.vlans.get(&id) {
+            let mut w = Writer::at(out, 1);
+            w.open(&v.name);
+            w.leaf(&format!("vlan-id {id}"));
+            for port in cfg.vlan_members(id) {
+                w.leaf(&format!("interface {}", interface_name(cfg.dialect, port)));
             }
             w.close();
         }
+    }
 
+    pub(crate) fn vl_close(cfg: &DeviceConfig, out: &mut String) {
+        if !cfg.vlans.is_empty() {
+            out.push_str("}\n");
+        }
+    }
+
+    pub(crate) fn fw_open(cfg: &DeviceConfig, out: &mut String) {
         if !cfg.acls.is_empty() {
-            w.open("firewall");
-            for (name, acl) in &cfg.acls {
-                w.open(&format!("filter {name}"));
-                for (i, r) in acl.rules.iter().enumerate() {
-                    w.open(&format!("term t{i}"));
-                    w.leaf(&format!("from protocol {} port {}", r.protocol, r.port));
-                    w.leaf(if r.permit { "then accept" } else { "then discard" });
-                    w.close();
-                }
+            out.push_str("firewall {\n");
+        }
+    }
+
+    pub(crate) fn acl(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(acl) = cfg.acls.get(name) {
+            let mut w = Writer::at(out, 1);
+            w.open(&format!("filter {name}"));
+            for (i, r) in acl.rules.iter().enumerate() {
+                w.open(&format!("term t{i}"));
+                w.leaf(&format!("from protocol {} port {}", r.protocol, r.port));
+                w.leaf(if r.permit { "then accept" } else { "then discard" });
                 w.close();
             }
             w.close();
         }
+    }
 
+    pub(crate) fn fw_close(cfg: &DeviceConfig, out: &mut String) {
+        if !cfg.acls.is_empty() {
+            out.push_str("}\n");
+        }
+    }
+
+    pub(crate) fn cos_open(cfg: &DeviceConfig, out: &mut String) {
         if !cfg.qos.is_empty() {
-            w.open("class-of-service");
-            for (name, q) in &cfg.qos {
-                w.open(name);
-                w.leaf(&format!("dscp {}", q.dscp));
+            out.push_str("class-of-service {\n");
+        }
+    }
+
+    pub(crate) fn qos(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(q) = cfg.qos.get(name) {
+            let mut w = Writer::at(out, 1);
+            w.open(name);
+            w.leaf(&format!("dscp {}", q.dscp));
+            w.close();
+        }
+    }
+
+    pub(crate) fn cos_close(cfg: &DeviceConfig, out: &mut String) {
+        if !cfg.qos.is_empty() {
+            out.push_str("}\n");
+        }
+    }
+
+    pub(crate) fn proto_open(cfg: &DeviceConfig, out: &mut String) {
+        if has_protocols(cfg) {
+            out.push_str("protocols {\n");
+        }
+    }
+
+    pub(crate) fn ospf(cfg: &DeviceConfig, out: &mut String) {
+        if let Some(ospf) = &cfg.ospf {
+            let mut w = Writer::at(out, 1);
+            w.open("ospf");
+            w.leaf(&format!("process {}", ospf.process));
+            for n in &ospf.networks {
+                w.leaf(&format!("area 0 network {n}"));
+            }
+            w.close();
+        }
+    }
+
+    pub(crate) fn bgp(cfg: &DeviceConfig, out: &mut String) {
+        if let Some(bgp) = &cfg.bgp {
+            let mut w = Writer::at(out, 1);
+            w.open("bgp");
+            w.leaf(&format!("local-as {}", bgp.local_as));
+            for (ip, ras) in &bgp.neighbors {
+                w.open(&format!("neighbor {ip}"));
+                w.leaf(&format!("peer-as {ras}"));
                 w.close();
             }
             w.close();
         }
+    }
 
-        let has_protocols = cfg.bgp.is_some()
-            || cfg.ospf.is_some()
-            || cfg.sflow.is_some()
-            || cfg.features.spanning_tree
-            || cfg.features.lacp
-            || cfg.features.udld;
-        if has_protocols {
-            w.open("protocols");
-            if let Some(ospf) = &cfg.ospf {
-                w.open("ospf");
-                w.leaf(&format!("process {}", ospf.process));
-                for n in &ospf.networks {
-                    w.leaf(&format!("area 0 network {n}"));
-                }
-                w.close();
-            }
-            if let Some(bgp) = &cfg.bgp {
-                w.open("bgp");
-                w.leaf(&format!("local-as {}", bgp.local_as));
-                for (ip, ras) in &bgp.neighbors {
-                    w.open(&format!("neighbor {ip}"));
-                    w.leaf(&format!("peer-as {ras}"));
-                    w.close();
-                }
-                w.close();
-            }
-            if cfg.features.spanning_tree {
-                w.open("rstp");
-                w.leaf("enable");
-                w.close();
-            }
-            if cfg.features.lacp {
-                w.open("lacp");
-                w.leaf("enable");
-                w.close();
-            }
-            if cfg.features.udld {
-                w.open("udld");
-                w.leaf("enable");
-                w.close();
-            }
-            if let Some(sf) = &cfg.sflow {
-                w.open("sflow");
-                w.leaf(&format!("collector {}", sf.collector));
-                w.leaf(&format!("rate {}", sf.rate));
-                w.close();
-            }
+    pub(crate) fn rstp(cfg: &DeviceConfig, out: &mut String) {
+        if cfg.features.spanning_tree {
+            feature_block(out, "rstp");
+        }
+    }
+
+    pub(crate) fn lacp(cfg: &DeviceConfig, out: &mut String) {
+        if cfg.features.lacp {
+            feature_block(out, "lacp");
+        }
+    }
+
+    pub(crate) fn udld(cfg: &DeviceConfig, out: &mut String) {
+        if cfg.features.udld {
+            feature_block(out, "udld");
+        }
+    }
+
+    fn feature_block(out: &mut String, name: &str) {
+        let mut w = Writer::at(out, 1);
+        w.open(name);
+        w.leaf("enable");
+        w.close();
+    }
+
+    pub(crate) fn sflow(cfg: &DeviceConfig, out: &mut String) {
+        if let Some(sf) = &cfg.sflow {
+            let mut w = Writer::at(out, 1);
+            w.open("sflow");
+            w.leaf(&format!("collector {}", sf.collector));
+            w.leaf(&format!("rate {}", sf.rate));
             w.close();
         }
+    }
 
+    pub(crate) fn proto_close(cfg: &DeviceConfig, out: &mut String) {
+        if has_protocols(cfg) {
+            out.push_str("}\n");
+        }
+    }
+
+    pub(crate) fn fwd(cfg: &DeviceConfig, out: &mut String) {
         if cfg.features.dhcp_relay {
+            let mut w = Writer::at(out, 0);
             w.open("forwarding-options");
             w.open("dhcp-relay");
             w.leaf("enable");
             w.close();
             w.close();
         }
+    }
 
+    pub(crate) fn lb_open(cfg: &DeviceConfig, out: &mut String) {
         if !cfg.pools.is_empty() {
-            w.open("load-balance");
-            for (name, p) in &cfg.pools {
-                w.open(&format!("pool {name}"));
-                w.leaf(&format!("monitor {}", p.monitor));
-                for m in &p.members {
-                    w.leaf(&format!("member {m}"));
-                }
-                w.close();
+            out.push_str("load-balance {\n");
+        }
+    }
+
+    pub(crate) fn pool(cfg: &DeviceConfig, name: &str, out: &mut String) {
+        if let Some(p) = cfg.pools.get(name) {
+            let mut w = Writer::at(out, 1);
+            w.open(&format!("pool {name}"));
+            w.leaf(&format!("monitor {}", p.monitor));
+            for m in &p.members {
+                w.leaf(&format!("member {m}"));
             }
             w.close();
         }
+    }
 
-        w.finish();
+    pub(crate) fn lb_close(cfg: &DeviceConfig, out: &mut String) {
+        if !cfg.pools.is_empty() {
+            out.push_str("}\n");
+        }
+    }
+
+    /// Full render: the chunks above, in document order. `chunk_keys`
+    /// enumerates exactly this sequence.
+    pub fn render(cfg: &DeviceConfig, out: &mut String) {
+        system(cfg, out);
+        snmp(cfg, out);
+        if_open(cfg, out);
+        for &port in cfg.interfaces.keys() {
+            iface(cfg, port, out);
+        }
+        if_close(cfg, out);
+        vl_open(cfg, out);
+        for &id in cfg.vlans.keys() {
+            vlan(cfg, id, out);
+        }
+        vl_close(cfg, out);
+        fw_open(cfg, out);
+        for name in cfg.acls.keys() {
+            acl(cfg, name, out);
+        }
+        fw_close(cfg, out);
+        cos_open(cfg, out);
+        for name in cfg.qos.keys() {
+            qos(cfg, name, out);
+        }
+        cos_close(cfg, out);
+        proto_open(cfg, out);
+        ospf(cfg, out);
+        bgp(cfg, out);
+        rstp(cfg, out);
+        lacp(cfg, out);
+        udld(cfg, out);
+        sflow(cfg, out);
+        proto_close(cfg, out);
+        fwd(cfg, out);
+        lb_open(cfg, out);
+        for name in cfg.pools.keys() {
+            pool(cfg, name, out);
+        }
+        lb_close(cfg, out);
     }
 
     /// Indentation-tracking writer for brace blocks, appending to a
-    /// caller-owned buffer.
+    /// caller-owned buffer at a fixed starting depth (chunk renderers for
+    /// nested stanzas start at depth 1, inside their wrapper).
     struct Writer<'a> {
         out: &'a mut String,
         depth: usize,
     }
 
-    impl Writer<'_> {
+    impl<'a> Writer<'a> {
+        fn at(out: &'a mut String, depth: usize) -> Self {
+            Writer { out, depth }
+        }
+
         fn open(&mut self, header: &str) {
             let _ = writeln!(self.out, "{}{} {{", "    ".repeat(self.depth), header);
             self.depth += 1;
@@ -339,10 +544,6 @@ mod brace_hierarchy {
         fn close(&mut self) {
             self.depth -= 1;
             let _ = writeln!(self.out, "{}}}", "    ".repeat(self.depth));
-        }
-
-        fn finish(self) {
-            assert_eq!(self.depth, 0, "unbalanced braces in renderer");
         }
     }
 }

@@ -22,7 +22,7 @@ use mpa_core::predict::{
 };
 use mpa_core::{analyze_treatment, cmi_ranking, mi_ranking, CausalConfig, TextTable};
 use mpa_metrics::{CaseTable, InferMode, Metric};
-use mpa_synth::{CoverageReport, Dataset, DegradeSpec, Scenario};
+use mpa_synth::{CoverageReport, Dataset, DegradeSpec, GenMode, Scenario};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,7 +68,8 @@ fn usage_and_exit() -> ! {
         "mpa-cli — Management Plane Analytics\n\n\
          usage:\n\
            mpa-cli generate --scale tiny|small|medium|paper [--seed N]\n\
-                            [--degrade none|light|heavy|key=rate,...] --out dataset.json\n\
+                            [--degrade none|light|heavy|key=rate,...]\n\
+                            [--gen-mode delta|full] --out dataset.json\n\
            mpa-cli infer    --dataset dataset.json [--delta MIN]\n\
                             [--infer-mode delta|full] --out table.json\n\
            mpa-cli analyze  --table table.json [--causal-top N]\n\
@@ -93,6 +94,7 @@ struct Opts {
     table: Option<String>,
     delta: Option<u64>,
     infer_mode: Option<InferMode>,
+    gen_mode: Option<GenMode>,
     causal_top: Option<usize>,
     classes: Option<u8>,
     threads: Option<usize>,
@@ -150,6 +152,21 @@ impl Opts {
                         std::process::exit(2);
                     }));
                 }
+                "--gen-mode" => {
+                    // Like --degrade, a generation-time knob: accepting it
+                    // elsewhere would silently do nothing.
+                    if command != "generate" {
+                        eprintln!(
+                            "--gen-mode only applies to the generate command (not {command:?})"
+                        );
+                        std::process::exit(2);
+                    }
+                    let raw = value();
+                    o.gen_mode = Some(GenMode::parse(&raw).unwrap_or_else(|| {
+                        eprintln!("--gen-mode must be \"delta\" or \"full\", got {raw:?}");
+                        std::process::exit(2);
+                    }));
+                }
                 "--causal-top" => o.causal_top = Some(parse_num("--causal-top", &value())),
                 "--classes" => {
                     let n: u8 = parse_num("--classes", &value());
@@ -203,7 +220,9 @@ fn generate(opts: &Opts) {
     if let Some(degrade) = opts.degrade {
         scenario = scenario.with_degrade(degrade);
     }
-    let dataset = mpa_core::exec::timed_phase("generate", || scenario.generate());
+    let gen_mode = opts.gen_mode.unwrap_or_default();
+    let dataset =
+        mpa_core::exec::timed_phase("generate", || scenario.generate_with_mode(gen_mode));
     let summary = dataset.summary();
     eprintln!(
         "generated {} networks / {} devices / {} snapshots / {} tickets",

@@ -171,6 +171,12 @@ fn invalid_flag_values_are_rejected_with_exit_2() {
         (&["predict", "--degrade", "heavy"], "--degrade"),
         (&["report", "--degrade", "none"], "--degrade"),
         (&["infer", "--degrade", "light"], "generate"),
+        // Same contract for --gen-mode: bad value, and a generation-time
+        // knob appearing on a non-generate command.
+        (&["generate", "--scale", "tiny", "--gen-mode", "turbo"], "--gen-mode"),
+        (&["infer", "--gen-mode", "delta"], "--gen-mode"),
+        (&["infer", "--gen-mode", "delta"], "generate"),
+        (&["analyze", "--gen-mode", "full"], "--gen-mode"),
     ];
     for (args, needle) in cases {
         let out = cli().args(*args).output().expect("run cli");
@@ -323,6 +329,71 @@ fn infer_modes_agree_and_both_balance_the_parse_cache() {
         }
     }
     assert_eq!(tables[0], tables[1], "case tables must be byte-identical across modes");
+}
+
+#[test]
+fn gen_modes_agree_and_both_balance_the_render_cache() {
+    // The delta-native generator and the full-render oracle must emit
+    // byte-identical datasets, and the render-cache accounting must
+    // balance in both engines: every chunk render is a cache hit or a
+    // cache miss, never unaccounted.
+    let mut datasets: Vec<String> = Vec::new();
+    for mode in ["full", "delta"] {
+        let dataset = tmp(&format!("gen-mode-dataset-{mode}.json"));
+        let obs = tmp(&format!("gen-mode-run-{mode}.json"));
+        let out = cli()
+            .args([
+                "generate",
+                "--scale",
+                "tiny",
+                "--gen-mode",
+                mode,
+                "--out",
+                dataset.to_str().unwrap(),
+                "--obs-out",
+                obs.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run generate");
+        assert!(
+            out.status.success(),
+            "generate --gen-mode {mode} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        datasets.push(std::fs::read_to_string(&dataset).expect("read dataset"));
+
+        let report = read_report(&obs);
+        let counters = get(&report, "counters");
+        let rendered = as_u64(get(counters, "gen_chunks_rendered"));
+        let hits = as_u64(get(counters, "gen_render_cache_hits"));
+        let misses = as_u64(get(counters, "gen_render_cache_misses"));
+        assert_eq!(
+            hits + misses,
+            rendered,
+            "{mode} mode render-cache accounting leak: {hits} + {misses} != {rendered}"
+        );
+        let splices = as_u64(get(counters, "gen_splice_ops"));
+        let lines = as_u64(get(counters, "gen_lines_rendered"));
+        let bytes = as_u64(get(counters, "gen_bytes_rendered"));
+        match mode {
+            "delta" => {
+                assert!(rendered > 0, "delta mode renders through the chunk cache");
+                assert!(misses > 0, "novel chunk text must miss the cache");
+                assert!(hits > 0, "repeated chunk text must hit the cache");
+                assert!(splices > 0 && lines > 0 && bytes > 0, "delta work counters must tick");
+            }
+            _ => {
+                // The oracle renders whole documents: no chunk cache, no
+                // splices — every gen_* counter stays untouched.
+                for (name, v) in
+                    [("rendered", rendered), ("splices", splices), ("lines", lines)]
+                {
+                    assert_eq!(v, 0, "full mode must not tick gen_{name}");
+                }
+            }
+        }
+    }
+    assert_eq!(datasets[0], datasets[1], "datasets must be byte-identical across gen modes");
 }
 
 #[test]

@@ -73,10 +73,45 @@ pub static ARCHIVE_SNAPSHOTS_MATERIALIZED: Counter =
 /// states only). Compare against `total_bytes` for the materialization
 /// saving.
 pub static ARCHIVE_BYTES_MATERIALIZED: Counter = Counter::new("archive_bytes_materialized");
-/// Line ids rewritten from shard-local to global ids during the sharded
-/// archive merge (`SnapshotArchive::merge_all`, phase 2).
+/// Line ids rewritten from shard-local to global ids. Only the pairwise
+/// [`SnapshotArchive::merge`] path (serve-session composition) still
+/// remaps individual delta-stream ids; the sharded `merge_all` uses
+/// offset-partitioned id allocation and rewrites nothing.
 pub static ARCHIVE_MERGE_REMAPPED_LINES: Counter =
     Counter::new("archive_merge_remapped_lines");
+/// Successor cost metric of the sharded merge: interned lines appended to
+/// the global table (`SnapshotArchive::merge_all`, phase 1). This is
+/// O(distinct lines per shard), versus the O(total delta-stream ids) the
+/// old remap phase paid — the ≥10× reduction gated in CI.
+pub static ARCHIVE_MERGE_TABLE_LINES: Counter = Counter::new("archive_merge_table_lines");
+
+// --- delta-native generation (incremented by mpa-config / mpa-synth) -----
+//
+// Invariant checked by the CLI tests in both gen modes:
+// `gen_render_cache_hits + gen_render_cache_misses == gen_chunks_rendered`
+// (every chunk render consults the per-network render cache exactly once;
+// the full-render oracle performs no chunk renders, so all three are zero
+// there).
+
+/// Chunk renders performed by the delta-native generator (= render-cache
+/// lookups; dirty chunks only, hit or miss).
+pub static GEN_CHUNKS_RENDERED: Counter = Counter::new("gen_chunks_rendered");
+/// Chunk renders whose text was already interned for this network — the
+/// per-line interning work was skipped entirely.
+pub static GEN_RENDER_CACHE_HITS: Counter = Counter::new("gen_render_cache_hits");
+/// Chunk renders with novel text, split and interned line by line.
+pub static GEN_RENDER_CACHE_MISSES: Counter = Counter::new("gen_render_cache_misses");
+/// Config lines produced by chunk renders (hit or miss). The delta path's
+/// analogue of the full path's per-snapshot line count — compare against
+/// `archive_line_hits + archive_lines_interned` under `--gen-mode full`
+/// for the cost-proportional-to-changed-lines claim.
+pub static GEN_LINES_RENDERED: Counter = Counter::new("gen_lines_rendered");
+/// Bytes of chunk text produced by the delta-native generator. Compare
+/// against the ~1.7 GB the full-render oracle produces at paper scale.
+pub static GEN_BYTES_RENDERED: Counter = Counter::new("gen_bytes_rendered");
+/// Dirty-chunk splices applied to live device documents (chunk slots
+/// inserted, replaced or removed at snapshot-record time).
+pub static GEN_SPLICE_OPS: Counter = Counter::new("gen_splice_ops");
 
 // --- inference parse cache (incremented by mpa-metrics) ------------------
 
@@ -194,6 +229,13 @@ pub static ALL: &[&Counter] = &[
     &ARCHIVE_SNAPSHOTS_MATERIALIZED,
     &ARCHIVE_BYTES_MATERIALIZED,
     &ARCHIVE_MERGE_REMAPPED_LINES,
+    &ARCHIVE_MERGE_TABLE_LINES,
+    &GEN_CHUNKS_RENDERED,
+    &GEN_RENDER_CACHE_HITS,
+    &GEN_RENDER_CACHE_MISSES,
+    &GEN_LINES_RENDERED,
+    &GEN_BYTES_RENDERED,
+    &GEN_SPLICE_OPS,
     &PARSE_SNAPSHOTS_VISITED,
     &PARSE_CACHE_HITS,
     &PARSE_CACHE_MISSES,

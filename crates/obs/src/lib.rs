@@ -27,10 +27,11 @@
 //!   RSS, written next to a run's outputs so perf regressions come with
 //!   an explanation attached.
 //!
-//! Scheduling stats ([`sched`]) are the one deliberately
-//! thread-count-*dependent* section: per-worker task counts and region
-//! imbalance describe how work was scheduled, so they live outside the
-//! invariant counter registry.
+//! Scheduling stats ([`sched`]) and generate-phase time accumulators
+//! ([`phases`]) are the deliberately thread-count-*dependent* sections:
+//! per-worker task counts, region imbalance and accumulated phase
+//! nanoseconds describe how (and how long) work was scheduled, so they
+//! live outside the invariant counter registry.
 //!
 //! See DESIGN.md §9 for the architecture and the rules for adding a
 //! counter.
@@ -39,6 +40,7 @@ pub mod counters;
 pub mod coverage;
 pub mod gauges;
 pub mod json;
+pub mod phases;
 mod report;
 pub mod sched;
 mod span;
@@ -46,4 +48,4 @@ mod span;
 pub use counters::Counter;
 pub use gauges::Gauge;
 pub use report::{peak_rss_bytes, RunReport};
-pub use span::{collector_installed, install_collector, span, take_spans, SpanNode};
+pub use span::{annotate_span, collector_installed, install_collector, span, take_spans, SpanNode};

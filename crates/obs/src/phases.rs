@@ -1,0 +1,126 @@
+//! Generate-phase time accumulators.
+//!
+//! The generate phase is one opaque wall-clock number in the pipeline
+//! bench; these accumulators break it into its four sub-costs — simulate
+//! (op application + bookkeeping), render (config text production +
+//! interning), encode (`ArchiveBuilder::finish`: sort, dedup,
+//! delta-encode) and merge (`merge_all`) — so BENCH_pipeline.json can
+//! show *where* generation time goes per run.
+//!
+//! Like [`crate::sched`], this module is deliberately **quarantined from
+//! the counter registry**: accumulated nanoseconds are wall-clock
+//! measurements, legitimately different on every run and at every thread
+//! count, so they must never enter [`crate::counters::ALL`] (whose totals
+//! the CLI tests compare across thread counts byte for byte). They are
+//! reported in their own `"phases"` section of the run report.
+//!
+//! Semantics: `simulate` and `merge` are wall spans of sequential (or
+//! single-region) phases. `render` and `encode` are **summed across
+//! worker threads**, so at N threads they can exceed the phase's wall
+//! time; they measure aggregate CPU cost, not elapsed time. The wall-time
+//! ban lint (R3) confines `Instant` to this crate, which is why the
+//! timing helper lives here rather than in the simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A named nanosecond accumulator (relaxed atomic; totals read at
+/// quiescent points only).
+#[derive(Debug)]
+pub struct PhaseAccum {
+    name: &'static str,
+    ns: AtomicU64,
+}
+
+impl PhaseAccum {
+    /// Declare an accumulator. Use only for statics in this module.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, ns: AtomicU64::new(0) }
+    }
+
+    /// Add `ns` nanoseconds.
+    #[inline]
+    pub fn add_ns(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Accumulated nanoseconds.
+    pub fn get_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// The accumulator's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Op application + simulation bookkeeping (wall time of the per-network
+/// parallel region, measured around it).
+pub static GEN_SIMULATE: PhaseAccum = PhaseAccum::new("simulate");
+/// Config text production + line interning (summed across workers).
+pub static GEN_RENDER: PhaseAccum = PhaseAccum::new("render");
+/// Archive encoding: sort, dedup, delta-encode (summed across workers).
+pub static GEN_ENCODE: PhaseAccum = PhaseAccum::new("encode");
+/// Shard-archive merge (wall time).
+pub static GEN_MERGE: PhaseAccum = PhaseAccum::new("merge");
+
+/// Every registered phase accumulator, in report order.
+pub static ALL: &[&PhaseAccum] = &[&GEN_SIMULATE, &GEN_RENDER, &GEN_ENCODE, &GEN_MERGE];
+
+/// Run `f`, adding its elapsed time to `phase`.
+#[inline]
+pub fn time<T>(phase: &PhaseAccum, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    phase.add_ns(start.elapsed().as_nanos() as u64);
+    out
+}
+
+/// Snapshot every phase accumulator as `(name, ns)` in report order.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    ALL.iter().map(|p| (p.name(), p.get_ns())).collect()
+}
+
+/// Pairwise difference of two snapshots taken around a region of work
+/// (`after - before`, saturating).
+pub fn snapshot_diff(
+    before: &[(&'static str, u64)],
+    after: &[(&'static str, u64)],
+) -> Vec<(&'static str, u64)> {
+    assert_eq!(before.len(), after.len(), "snapshots from different registries");
+    before
+        .iter()
+        .zip(after)
+        .map(|(&(bn, bv), &(an, av))| {
+            assert_eq!(bn, an, "snapshots from different registries");
+            (an, av.saturating_sub(bv))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_and_diffs() {
+        let before = snapshot();
+        let v = time(&GEN_ENCODE, || {
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert_eq!(v, 499_500);
+        let diff = snapshot_diff(&before, &snapshot());
+        let encode = diff.iter().find(|(n, _)| *n == "encode").unwrap().1;
+        assert!(encode > 0, "elapsed time must accumulate");
+    }
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

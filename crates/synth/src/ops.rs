@@ -16,18 +16,124 @@
 use crate::health::{HealthModel, TrueMonthly, TrueStatics};
 use crate::netgen::GeneratedNetwork;
 use crate::profile::{NetworkProfile, OpKind};
-use mpa_config::semantic::AclRule;
+use mpa_config::chunk::{self, ChunkKey};
+use mpa_config::semantic::{AclRule, DeviceConfig};
 use mpa_config::snapshot::Login;
 use mpa_config::typemap::ChangeType;
-use mpa_config::{render_config_into, ArchiveBuilder, SnapshotArchive};
+use mpa_config::{render_config_into, ArchiveBuilder, RenderCache, SnapshotArchive};
 use mpa_model::device::Dialect;
 use mpa_model::{
     DeviceId, Role, StudyPeriod, Ticket, TicketId, TicketKind, TicketSeverity, Timestamp,
 };
+use mpa_obs::phases;
 use mpa_stats::Sampler;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Which rendering engine produces the archived snapshot text.
+///
+/// Both modes produce **byte-identical archives**: delta mode re-renders
+/// only the chunks an op dirtied (see [`mpa_config::chunk`]) and emits
+/// interned line-id sequences straight into the [`ArchiveBuilder`], while
+/// full mode renders every device document from scratch on every snapshot.
+/// Full mode is retained as the equivalence oracle (`--gen-mode full`),
+/// mirroring the inference layer's `InferMode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GenMode {
+    /// Render the whole document for every snapshot — the original path,
+    /// O(fleet size) per change, kept as the oracle.
+    Full,
+    /// Re-render only dirty chunks and splice interned line ids (the
+    /// default): generation cost proportional to changed bytes.
+    #[default]
+    Delta,
+}
+
+impl GenMode {
+    /// Parse a CLI flag value (`"full"` / `"delta"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "full" => Some(Self::Full),
+            "delta" => Some(Self::Delta),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling, for reports and usage text.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Full => "full",
+            Self::Delta => "delta",
+        }
+    }
+}
+
+/// Live rendered document of one device in delta mode: the render-cache
+/// slot of every non-empty chunk, the total byte length, and the chunk
+/// keys ops have dirtied since the last archived snapshot (dirt survives
+/// unlogged months — ops still mutate configs then).
+#[derive(Debug, Default)]
+struct LiveDoc {
+    /// Chunk key → [`RenderCache`] slot, sorted — iteration is document
+    /// order, so concatenating slot ids reproduces the full render.
+    chunks: BTreeMap<ChunkKey, u32>,
+    /// Total byte length of the document (sum of slot text lengths).
+    text_len: usize,
+    /// Chunks whose text may have changed since the last flush.
+    dirty: BTreeSet<ChunkKey>,
+}
+
+/// Per-network delta-generation state: one render cache shared by all of
+/// the network's devices (their chunk texts overlap heavily) plus each
+/// device's live document.
+struct LiveState {
+    cache: RenderCache,
+    docs: HashMap<DeviceId, LiveDoc>,
+    scratch: String,
+}
+
+impl LiveState {
+    fn new() -> Self {
+        Self { cache: RenderCache::new(), docs: HashMap::new(), scratch: String::new() }
+    }
+
+    /// Flush `dev`'s dirty chunks (in sorted order — *document* order, so
+    /// first-appearance interning matches a full render byte for byte)
+    /// and record the resulting id sequence as one snapshot.
+    fn record(
+        &mut self,
+        builder: &mut ArchiveBuilder,
+        cfg: &DeviceConfig,
+        dev: DeviceId,
+        time: Timestamp,
+        login: Login,
+    ) {
+        let doc = self.docs.entry(dev).or_default();
+        for key in std::mem::take(&mut doc.dirty) {
+            mpa_obs::counters::GEN_SPLICE_OPS.incr();
+            self.scratch.clear();
+            chunk::render_chunk(cfg, &key, &mut self.scratch);
+            if self.scratch.is_empty() {
+                if let Some(old) = doc.chunks.remove(&key) {
+                    doc.text_len -= self.cache.text_len(old);
+                }
+            } else {
+                let slot = self.cache.slot_for(builder, &self.scratch);
+                doc.text_len += self.cache.text_len(slot);
+                if let Some(old) = doc.chunks.insert(key, slot) {
+                    doc.text_len -= self.cache.text_len(old);
+                }
+            }
+        }
+        let (cache, chunks) = (&self.cache, &doc.chunks);
+        builder.record_lines_with(dev, time, login, doc.text_len, |ids| {
+            for &slot in chunks.values() {
+                ids.extend_from_slice(cache.ids(slot));
+            }
+        });
+    }
+}
 
 /// Ground truth for one (network, month): the realized practice values the
 /// health model consumed, its rate, and the incident count drawn from it.
@@ -87,6 +193,7 @@ pub struct SimConfig {
 }
 
 /// Simulate one network across the whole period, mutating its configs.
+/// Renders snapshots with the default [`GenMode`].
 ///
 /// `ticket_seq` is the organization-wide ticket id allocator.
 pub fn simulate_network<R: Rng>(
@@ -98,8 +205,29 @@ pub fn simulate_network<R: Rng>(
     ticket_seq: &mut u32,
     rng: &mut R,
 ) -> NetworkSimOutput {
+    simulate_network_with_mode(gen, profile, period, health, sim, GenMode::default(), ticket_seq, rng)
+}
+
+/// [`simulate_network`] with an explicit snapshot-rendering mode. The two
+/// modes draw identical RNG streams and produce byte-identical archives;
+/// only the rendering work differs.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_network_with_mode<R: Rng>(
+    gen: &mut GeneratedNetwork,
+    profile: &NetworkProfile,
+    period: &StudyPeriod,
+    health: &HealthModel,
+    sim: SimConfig,
+    mode: GenMode,
+    ticket_seq: &mut u32,
+    rng: &mut R,
+) -> NetworkSimOutput {
     let mut out = NetworkSimOutput::default();
     let mut builder = ArchiveBuilder::new();
+    let mut live = match mode {
+        GenMode::Delta => Some(LiveState::new()),
+        GenMode::Full => None,
+    };
     let mut rev: u64 = 0; // monotonically increasing edit revision
 
     let statics = TrueStatics {
@@ -122,13 +250,26 @@ pub fn simulate_network<R: Rng>(
     };
 
     // Archive the initial configuration of every device at t=0 so the first
-    // in-study change has a predecessor to diff against.
+    // in-study change has a predecessor to diff against. In delta mode the
+    // whole document is dirty (every chunk key), so the first flush interns
+    // lines in exactly full-render order.
     {
         let mut s = Sampler::new(rng);
         for d in &gen.network.devices {
             let login = Login::new(format!("op{}", s.uniform_range(0, 3)));
             let cfg = &gen.configs[&d.id];
-            builder.record_with(d.id, Timestamp(0), login, |buf| render_config_into(cfg, buf));
+            phases::time(&phases::GEN_RENDER, || match &mut live {
+                Some(state) => {
+                    let doc = state.docs.entry(d.id).or_default();
+                    doc.dirty = chunk::chunk_keys(cfg).into_iter().collect();
+                    state.record(&mut builder, cfg, d.id, Timestamp(0), login);
+                }
+                None => {
+                    builder.record_with(d.id, Timestamp(0), login, |buf| {
+                        render_config_into(cfg, buf);
+                    });
+                }
+            });
         }
     }
 
@@ -180,14 +321,27 @@ pub fn simulate_network<R: Rng>(
                 }
                 let dialect = gen.configs[&dev].dialect;
                 rev += 1;
-                apply_op(gen, dev, kind, rev, profile, &mut s);
+                // Dirty marks accumulate even in unlogged months — the op
+                // still mutates the config, and the next archived snapshot
+                // must reflect every change since the previous one.
+                let dirty = live
+                    .as_mut()
+                    .map(|state| &mut state.docs.get_mut(&dev).expect("seeded at t=0").dirty);
+                apply_op(gen, dev, kind, rev, profile, dirty, &mut s);
                 event_types.insert(realized_type(kind, dialect));
                 let role = gen.network.device(dev).expect("member").role;
                 touched_mbox |= role.is_middlebox();
                 if logged {
                     let cfg = &gen.configs[&dev];
-                    builder.record_with(dev, Timestamp(t), login.clone(), |buf| {
-                        render_config_into(cfg, buf);
+                    phases::time(&phases::GEN_RENDER, || match &mut live {
+                        Some(state) => {
+                            state.record(&mut builder, cfg, dev, Timestamp(t), login.clone());
+                        }
+                        None => {
+                            builder.record_with(dev, Timestamp(t), login.clone(), |buf| {
+                                render_config_into(cfg, buf);
+                            });
+                        }
                     });
                 }
             }
@@ -275,7 +429,7 @@ pub fn simulate_network<R: Rng>(
     // device's history into time order, drops time-adjacent duplicates (an
     // edit can exactly revert earlier state, and an NMS like RANCID only
     // commits when the text actually changed) and delta-encodes.
-    out.archive = builder.finish();
+    out.archive = phases::time(&phases::GEN_ENCODE, || builder.finish());
     out
 }
 
@@ -365,16 +519,23 @@ fn realized_type(kind: OpKind, dialect: Dialect) -> ChangeType {
 /// Apply one semantic operation to one device. Every branch is guaranteed to
 /// actually modify the rendered config (the `rev` counter provides fresh
 /// values), so a simulated change never silently diffs to nothing.
+///
+/// In delta mode, `dirty` collects the chunk keys whose rendered text may
+/// have changed (`None` in full mode — the marks then cost nothing). The
+/// marks must *cover* each branch's mutation; `tests/proptest_chunks.rs`
+/// in `mpa-config` property-tests exactly this mark-per-mutator mapping.
 fn apply_op<R: Rng>(
     gen: &mut GeneratedNetwork,
     dev: DeviceId,
     kind: OpKind,
     rev: u64,
     profile: &NetworkProfile,
+    mut dirty: Option<&mut BTreeSet<ChunkKey>>,
     s: &mut Sampler<'_, R>,
 ) {
     let next_port = *gen.next_port.get(&dev).expect("registered");
     let cfg = gen.configs.get_mut(&dev).expect("device config exists");
+    let dl = cfg.dialect;
     match kind {
         OpKind::IfaceTweak => {
             let port = if next_port > 1 { s.uniform_range(1, u64::from(next_port) - 1) as u16 } else { 1 };
@@ -386,15 +547,26 @@ fn apply_op<R: Rng>(
                 // description too so the change is always observable.
                 cfg.set_description(port, format!("mtu change rev {rev}"));
             }
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_iface(dl, port, d);
+            }
         }
         OpKind::VlanMembership => {
             let port = if next_port > 1 { s.uniform_range(1, u64::from(next_port) - 1) as u16 } else { 1 };
             let pool_size = profile.n_vlans.max(1) as u64;
             let mut vlan = (10 + 10 * s.uniform_range(0, pool_size - 1)) as u16;
-            if cfg.interfaces.get(&port).and_then(|i| i.access_vlan) == Some(vlan) {
+            let old = cfg.interfaces.get(&port).and_then(|i| i.access_vlan);
+            if old == Some(vlan) {
                 vlan = if vlan >= 20 { vlan - 10 } else { vlan + 10 };
             }
             cfg.assign_interface_vlan(port, vlan);
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_iface(dl, port, d);
+                chunk::mark_vlan(dl, vlan, d);
+                if let Some(old) = old {
+                    chunk::mark_vlan(dl, old, d);
+                }
+            }
         }
         OpKind::VlanLifecycle => {
             // Alternate between creating fresh VLANs and retiring dynamic
@@ -402,7 +574,17 @@ fn apply_op<R: Rng>(
             let dynamic: Vec<u16> = cfg.vlans.keys().copied().filter(|v| *v >= 2000).collect();
             if !dynamic.is_empty() && s.bernoulli(0.45) {
                 let victim = dynamic[s.uniform_range(0, dynamic.len() as u64 - 1) as usize];
+                // Member list *before* removal: `remove_vlan` detaches the
+                // member interfaces, and their chunks change with it.
+                let members =
+                    if dirty.is_some() { cfg.vlan_members(victim) } else { Vec::new() };
                 cfg.remove_vlan(victim);
+                if let Some(d) = dirty.as_deref_mut() {
+                    chunk::mark_vlan(dl, victim, d);
+                    for port in members {
+                        chunk::mark_iface(dl, port, d);
+                    }
+                }
             } else {
                 // `add_vlan` is idempotent; probe for an id not yet in use so
                 // the snapshot is never a no-op.
@@ -411,15 +593,22 @@ fn apply_op<R: Rng>(
                     vlan = if vlan >= 3899 { 2000 } else { vlan + 1 };
                 }
                 cfg.add_vlan(vlan);
+                if let Some(d) = dirty.as_deref_mut() {
+                    chunk::mark_vlan(dl, vlan, d);
+                }
             }
         }
         OpKind::AclEdit => {
             let names: Vec<String> = cfg.acls.keys().cloned().collect();
             if names.is_empty() {
+                let name = format!("acl-dyn-{}", dev.0);
                 cfg.acl_add_rule(
-                    &format!("acl-dyn-{}", dev.0),
+                    &name,
                     AclRule { permit: true, protocol: "tcp".into(), port: 443 },
                 );
+                if let Some(d) = dirty.as_deref_mut() {
+                    chunk::mark_acl(dl, &name, d);
+                }
             } else {
                 let name = &names[s.uniform_range(0, names.len() as u64 - 1) as usize];
                 let n_rules = cfg.acls[name].rules.len();
@@ -435,6 +624,9 @@ fn apply_op<R: Rng>(
                             port: 10_000 + (rev % 50_000) as u16,
                         },
                     );
+                }
+                if let Some(d) = dirty.as_deref_mut() {
+                    chunk::mark_acl(dl, name, d);
                 }
             }
         }
@@ -465,15 +657,24 @@ fn apply_op<R: Rng>(
                 };
                 cfg.pool_add_member(&name, &member);
             }
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_pool(dl, &name, d);
+            }
         }
         OpKind::UserChurn => {
             let temps: Vec<String> =
                 cfg.users.keys().filter(|u| u.starts_with("tmp")).cloned().collect();
-            if !temps.is_empty() && s.bernoulli(0.5) {
-                let victim = &temps[s.uniform_range(0, temps.len() as u64 - 1) as usize];
-                cfg.remove_user(victim);
+            let name = if !temps.is_empty() && s.bernoulli(0.5) {
+                let victim = temps[s.uniform_range(0, temps.len() as u64 - 1) as usize].clone();
+                cfg.remove_user(&victim);
+                victim
             } else {
-                cfg.add_user(format!("tmp{rev}"), "contractor");
+                let name = format!("tmp{rev}");
+                cfg.add_user(&name, "contractor");
+                name
+            };
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_user(dl, &name, d);
             }
         }
         OpKind::BgpPeering => {
@@ -509,12 +710,18 @@ fn apply_op<R: Rng>(
                 };
                 cfg.bgp_add_neighbor(local_as, &ip, 64_600 + (rev % 100) as u32);
             }
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_bgp(dl, d);
+            }
         }
         OpKind::OspfAdvertise => {
             // Derive the prefix from the advertisement count, which only
             // grows, so each advertisement is genuinely new.
             let adv = cfg.ospf.as_ref().map_or(0, |o| o.networks.len());
             cfg.ospf_advertise(1, &format!("10.{}.{}.0/24", 200 + adv / 250, adv % 250));
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_ospf(dl, d);
+            }
         }
         OpKind::SflowTune => {
             let rate = 512u32 << (rev % 4);
@@ -525,6 +732,9 @@ fn apply_op<R: Rng>(
             // Guarantee a change even when the rotated rate collides.
             let rate = if cfg.sflow.as_ref().is_some_and(|sf| sf.rate == rate) { rate + 1 } else { rate };
             cfg.set_sflow(collector, rate);
+            if let Some(d) = dirty.as_deref_mut() {
+                chunk::mark_sflow(dl, d);
+            }
         }
         OpKind::QosTune => {
             let mut dscp = (rev % 63) as u8;
@@ -532,6 +742,9 @@ fn apply_op<R: Rng>(
                 dscp = (dscp + 1) % 63;
             }
             cfg.set_qos_class("voice", dscp);
+            if let Some(d) = dirty {
+                chunk::mark_qos(dl, "voice", d);
+            }
         }
     }
     // Ports may have been implicitly created; keep the allocator ahead.
@@ -562,7 +775,7 @@ mod tests {
         }
     }
 
-    fn run_one() -> (GeneratedNetwork, NetworkSimOutput) {
+    fn run_one_with(mode: GenMode) -> (GeneratedNetwork, NetworkSimOutput) {
         let cfg = org();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let profiles = sample_profiles(&cfg, &mut rng);
@@ -576,16 +789,21 @@ mod tests {
         let mut gen = generate_network(&profile, &mut next_id, &mut rng);
         let period = StudyPeriod::new(mpa_model::Month::new(2013, 8).unwrap(), cfg.n_months);
         let mut ticket_seq = 0;
-        let out = simulate_network(
+        let out = simulate_network_with_mode(
             &mut gen,
             &profile,
             &period,
             &HealthModel::default(),
             SimConfig { missing_month_rate: cfg.missing_month_rate },
+            mode,
             &mut ticket_seq,
             &mut rng,
         );
         (gen, out)
+    }
+
+    fn run_one() -> (GeneratedNetwork, NetworkSimOutput) {
+        run_one_with(GenMode::default())
     }
 
     #[test]
@@ -708,6 +926,32 @@ mod tests {
             ChangeType::Vlan
         );
         assert_eq!(realized_type(OpKind::AclEdit, Dialect::BlockKeyword), ChangeType::Acl);
+    }
+
+    #[test]
+    fn gen_modes_produce_byte_identical_archives() {
+        let (_, delta) = run_one_with(GenMode::Delta);
+        let (_, full) = run_one_with(GenMode::Full);
+        assert_eq!(delta.archive, full.archive, "structural divergence between gen modes");
+        assert_eq!(
+            serde_json::to_string(&delta.archive).unwrap(),
+            serde_json::to_string(&full.archive).unwrap(),
+            "serde bytes diverged between gen modes"
+        );
+        // Same RNG consumption: the rest of the output matches too.
+        assert_eq!(format!("{:?}", delta.truth), format!("{:?}", full.truth));
+        assert_eq!(delta.tickets, full.tickets);
+    }
+
+    #[test]
+    fn gen_mode_parse_round_trips() {
+        assert_eq!(GenMode::parse("delta"), Some(GenMode::Delta));
+        assert_eq!(GenMode::parse("full"), Some(GenMode::Full));
+        assert_eq!(GenMode::parse("chunky"), None);
+        assert_eq!(GenMode::default(), GenMode::Delta);
+        for m in [GenMode::Delta, GenMode::Full] {
+            assert_eq!(GenMode::parse(m.label()), Some(m));
+        }
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub mod prelude {
     };
     pub use mpa_metrics::{infer, infer_case_table, infer_with_mode, CaseTable, InferMode, Metric};
     pub use mpa_model::{Network, NetworkId, Ticket};
-    pub use mpa_synth::{Dataset, Scenario};
+    pub use mpa_synth::{Dataset, GenMode, Scenario};
 }
 
 #[cfg(test)]
