@@ -55,6 +55,7 @@ fn hash_line(line: &str) -> u64 {
     }
     let rem = chunks.remainder();
     let mut last = [0u8; 8];
+    // mpa-lint: allow(R7) -- chunks_exact(8) remainder is < 8 bytes, the buffer's exact size
     last[..rem.len()].copy_from_slice(rem);
     (h.rotate_left(5) ^ u64::from_le_bytes(last)).wrapping_mul(K)
 }
@@ -208,13 +209,16 @@ impl LineDelta {
         }
         let mut suffix = 0;
         while suffix < max - prefix
+            // mpa-lint: allow(R7) -- suffix < max - prefix keeps both offsets within the shorter side
             && old[old.len() - 1 - suffix] == new[new.len() - 1 - suffix]
         {
             suffix += 1;
         }
         Self {
             at: u32::try_from(prefix).expect("snapshot line count overflow"),
+            // mpa-lint: allow(R7) -- prefix + suffix <= old.len() by the scan loop bounds above
             removed: old[prefix..old.len() - suffix].to_vec(),
+            // mpa-lint: allow(R7) -- prefix + suffix <= new.len() by the scan loop bounds above
             added: new[prefix..new.len() - suffix].to_vec(),
         }
     }
@@ -582,6 +586,7 @@ impl SnapshotArchive {
         let hist = self.by_device.entry(meta.device).or_default();
         if let Some(last) = hist.metas.last() {
             if meta.time < last.time {
+                // mpa-lint: allow(R8) -- cold rejection path; allocates only to build the error
                 return Err(ConfigError::OutOfOrderSnapshot { device: meta.device.to_string() });
             }
         }
@@ -1049,10 +1054,12 @@ impl ArchiveBuilder {
         for (dev, mut pending) in self.pending {
             pending.sort_by_key(|p| p.time);
             pending.dedup_by(|b, a| {
+                // mpa-lint: allow(R7) -- pending ranges were carved out of `ids` by the loader above
                 a.text_len == b.text_len && ids[a.range()] == ids[b.range()]
             });
             let mut hist = DeviceHistory::default();
             for (i, snap) in pending.into_iter().enumerate() {
+                // mpa-lint: allow(R7) -- pending ranges were carved out of `ids` by the loader above
                 let lines = &ids[snap.range()];
                 if i == 0 {
                     hist.base.extend_from_slice(lines);

@@ -230,6 +230,7 @@ pub fn render_chunk(cfg: &DeviceConfig, key: &ChunkKey, out: &mut String) {
                 (OSPF, _) => bk::ospf(cfg, out),
                 (BGP, _) => bk::bgp(cfg, out),
                 (POOL, ChunkItem::Name(n)) => bk::pool(cfg, n, out),
+                // mpa-lint: allow(R7) -- keys come only from this module's mark_* constructors; the arm is exhaustiveness bookkeeping
                 _ => unreachable!("malformed block-keyword chunk key {key:?}"),
             }
         }
@@ -262,6 +263,7 @@ pub fn render_chunk(cfg: &DeviceConfig, key: &ChunkKey, out: &mut String) {
                 (LB_OPEN, _) => bh::lb_open(cfg, out),
                 (POOL, ChunkItem::Name(n)) => bh::pool(cfg, n, out),
                 (LB_CLOSE, _) => bh::lb_close(cfg, out),
+                // mpa-lint: allow(R7) -- keys come only from this module's mark_* constructors; the arm is exhaustiveness bookkeeping
                 _ => unreachable!("malformed brace-hierarchy chunk key {key:?}"),
             }
         }

@@ -110,8 +110,8 @@ pub fn extract_facts(cfg: &ParsedConfig<'_>) -> ConfigFacts {
 /// Pull the peer device out of a `description ... link to <hostname>` line.
 /// Hostnames end in `dev<ID>` (see `Device::hostname`).
 fn description_peer(line: &str) -> Option<DeviceId> {
-    let pos = line.find("link to ")?;
-    let host = line[pos + "link to ".len()..].trim().trim_matches('"');
+    let (_, rest) = line.split_once("link to ")?;
+    let host = rest.trim().trim_matches('"');
     let dev_pos = host.rfind("dev")?;
     host[dev_pos + 3..].parse().ok().map(DeviceId)
 }

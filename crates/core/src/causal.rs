@@ -166,6 +166,7 @@ pub fn analyze_treatment(
             confounders
                 .iter()
                 .zip(&conf_binners)
+                // mpa-lint: allow(R7) -- Metric::index() is the dense slot in a values vec sized Metric::ALL
                 .map(|(m, b)| b.bin(c.values[m.index()]) as f64)
                 .collect()
         })

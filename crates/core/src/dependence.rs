@@ -79,6 +79,7 @@ pub fn mi_ranking(table: &CaseTable, min_cases_per_month: usize) -> Vec<MiEntry>
             for (cases, ys) in &month_cases {
                 let xs: Vec<usize> = cases
                     .iter()
+                    // mpa-lint: allow(R7) -- Metric::index() is the dense slot in a values vec sized Metric::ALL
                     .map(|c| metric_binners[mi_ix].bin(c.values[metric.index()]))
                     .collect();
                 total += mutual_information(&xs, ys);

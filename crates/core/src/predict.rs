@@ -271,6 +271,7 @@ pub fn online_accuracy(
 pub fn class_distribution(table: &CaseTable, classes: HealthClasses) -> Vec<usize> {
     let mut counts = vec![0usize; usize::from(classes.n())];
     for c in table.cases() {
+        // mpa-lint: allow(R7) -- label() returns < classes.n(), the counts vec's length
         counts[usize::from(classes.label(c.tickets))] += 1;
     }
     counts

@@ -344,17 +344,21 @@ impl AnalyticsSession {
         let n_snapshots = batch.snapshots.len();
         let n_tickets = batch.tickets.len();
         for snap in batch.snapshots {
+            // mpa-lint: allow(R7) -- the validation pass above rejected unknown devices before any mutation
             let ix = self.device_network[&snap.meta.device];
             match self.dataset.archive.push(snap) {
                 Ok(()) => {}
                 Err(ConfigError::OutOfOrderSnapshot { device }) => {
+                    // mpa-lint: allow(R7) -- the validation pass above checked per-device time order
                     unreachable!("pre-validated snapshot order for device {device}")
                 }
+                // mpa-lint: allow(R7) -- OutOfOrderSnapshot is the only error push can produce
                 Err(e) => unreachable!("archive push cannot fail here: {e:?}"),
             }
             dirty.insert(ix);
         }
         for ticket in batch.tickets {
+            // mpa-lint: allow(R7) -- the validation pass above rejected unknown networks before any mutation
             dirty.insert(self.network_index[&ticket.network]);
             self.dataset.tickets.push(ticket);
         }

@@ -154,6 +154,7 @@ impl Classifier for AdaBoost {
             BoostMode::Ensemble => {
                 let mut votes = vec![0.0; usize::from(self.n_classes)];
                 for (tree, alpha) in &self.members {
+                    // mpa-lint: allow(R7) -- trees emit labels < n_classes, the votes vec's length
                     votes[usize::from(tree.predict(features))] += alpha;
                 }
                 votes

@@ -103,6 +103,7 @@ impl LearnSet {
     pub fn class_weights(&self) -> Vec<f64> {
         let mut w = vec![0.0; usize::from(self.n_classes)];
         for i in &self.instances {
+            // mpa-lint: allow(R7) -- instance labels are < n_classes by LearnSet construction
             w[usize::from(i.label)] += i.weight;
         }
         w

@@ -80,6 +80,7 @@ impl RandomForest {
         // frequency weights (for the weighted variant).
         let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); usize::from(set.n_classes())];
         for (i, inst) in set.instances().iter().enumerate() {
+            // mpa-lint: allow(R7) -- instance labels are < n_classes, the by_class vec's length
             by_class[usize::from(inst.label)].push(i);
         }
         let class_weight: Vec<f64> = by_class
@@ -105,8 +106,11 @@ impl RandomForest {
                     let per_class = (n / nonempty.len()).max(1);
                     let mut sample = Vec::with_capacity(per_class * nonempty.len());
                     for pool in &nonempty {
+                        // `nonempty` filtered zero-member pools out above,
+                        // so the draw bound cannot underflow.
+                        let last = pool.len() as u64 - 1;
                         for _ in 0..per_class {
-                            sample.push(pool[s.uniform_range(0, pool.len() as u64 - 1) as usize]);
+                            sample.extend(pool.get(s.uniform_range(0, last) as usize).copied());
                         }
                     }
                     sample
@@ -136,6 +140,7 @@ impl RandomForest {
                             .collect(),
                         label: src.label,
                         weight: match config.variant {
+                            // mpa-lint: allow(R7) -- instance labels are < n_classes, the class_weight vec's length
                             ForestVariant::Weighted => class_weight[usize::from(src.label)],
                             _ => 1.0,
                         },
@@ -168,6 +173,7 @@ impl Classifier for RandomForest {
             for &f in feature_ix {
                 masked[f] = features[f];
             }
+            // mpa-lint: allow(R7) -- trees emit labels < n_classes, the votes vec's length
             votes[usize::from(tree.predict(&masked))] += 1;
         }
         votes.iter().enumerate().max_by_key(|(_, &v)| v).expect("non-empty").0 as u8

@@ -21,6 +21,7 @@ pub fn oversample(set: &LearnSet, factors: &[usize]) -> LearnSet {
     assert!(factors.iter().all(|&f| f >= 1), "factors must be >= 1");
     let mut out: Vec<Instance> = Vec::new();
     for inst in set.instances() {
+        // mpa-lint: allow(R7) -- one factor per class is asserted above; labels are < n_classes
         let copies = factors[usize::from(inst.label)];
         for _ in 0..copies {
             out.push(inst.clone());

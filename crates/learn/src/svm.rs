@@ -67,6 +67,7 @@ impl LinearSvm {
                 // margin = w·x + b over the active one-hot indices.
                 let mut margin = w[dim];
                 for (j, &v) in inst.features.iter().enumerate() {
+                    // mpa-lint: allow(R7) -- offsets[j] + v indexes feature j's one-hot block; v < its arity by encoding
                     margin += w[offsets[j] + usize::from(v)];
                 }
                 // Regularization shrink (not applied to bias).
@@ -76,6 +77,7 @@ impl LinearSvm {
                 }
                 if y * margin < 1.0 {
                     for (j, &v) in inst.features.iter().enumerate() {
+                        // mpa-lint: allow(R7) -- offsets[j] + v indexes feature j's one-hot block; v < its arity by encoding
                         w[offsets[j] + usize::from(v)] += eta * y;
                     }
                     w[dim] += eta * y * 0.1; // damped bias update
@@ -95,6 +97,7 @@ impl LinearSvm {
         let w = &self.weights[class];
         let mut m = w[self.dim];
         for (j, &v) in features.iter().enumerate() {
+            // mpa-lint: allow(R7) -- offsets[j] + v indexes feature j's one-hot block; v < its arity by encoding
             m += w[self.offsets[j] + usize::from(v)];
         }
         m

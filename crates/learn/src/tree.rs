@@ -161,6 +161,7 @@ fn majority(set: &LearnSet, indices: &[usize]) -> u8 {
     let mut w = vec![0.0; usize::from(set.n_classes())];
     for &i in indices {
         let inst = &set.instances()[i];
+        // mpa-lint: allow(R7) -- instance labels are < n_classes, the weight vec's length
         w[usize::from(inst.label)] += inst.weight;
     }
     w.iter()
@@ -190,6 +191,7 @@ fn node_entropy(set: &LearnSet, indices: &[usize]) -> f64 {
     let mut w = vec![0.0; usize::from(set.n_classes())];
     for &i in indices {
         let inst = &set.instances()[i];
+        // mpa-lint: allow(R7) -- instance labels are < n_classes, the weight vec's length
         w[usize::from(inst.label)] += inst.weight;
     }
     entropy_of(&w)
@@ -206,6 +208,7 @@ fn gain_ratio(set: &LearnSet, indices: &[usize], feature: usize) -> Option<f64> 
     for &i in indices {
         let inst = &set.instances()[i];
         let b = usize::from(inst.features[feature]);
+        // mpa-lint: allow(R7) -- b < the feature's arity and labels are < n_classes, the table's dimensions
         bin_class[b][usize::from(inst.label)] += inst.weight;
         bin_w[b] += inst.weight;
         total += inst.weight;
@@ -256,6 +259,7 @@ fn build(set: &LearnSet, indices: &[usize], min_weight: f64, depth_left: usize) 
     let arity = usize::from(set.feature_arity()[feature]);
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); arity];
     for &i in indices {
+        // mpa-lint: allow(R7) -- feature values are < the feature's arity, the buckets vec's length
         buckets[usize::from(set.instances()[i].features[feature])].push(i);
     }
     let children = buckets

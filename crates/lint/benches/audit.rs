@@ -1,0 +1,32 @@
+//! Criterion bench: the full graph-mode audit over the real workspace
+//! (parse → symbols → call graph → reachability → rules), next to the
+//! flat line-rule scan as the baseline it grew from. The audit runs on
+//! every `cargo test -q`, so its wall clock is a budget, not a curiosity:
+//! the whole-workspace pass is expected to stay comfortably under ~2 s.
+//!
+//! ```text
+//! cargo bench -p mpa-lint --bench audit
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn bench(c: &mut Criterion) {
+    let root = workspace_root();
+    let mut g = c.benchmark_group("audit");
+    g.sample_size(10);
+    g.bench_function("graph_full_workspace", |b| {
+        b.iter(|| mpa_lint::audit_workspace(&root).expect("audit").findings.len())
+    });
+    g.bench_function("flat_full_workspace", |b| {
+        b.iter(|| mpa_lint::scan_workspace(&root).expect("scan").findings.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! The intra-workspace call graph and the reachability queries the audit
+//! rules run on.
+//!
+//! Resolution is deliberately name-based and **over-approximating** — when
+//! a call token could refer to several workspace functions, an edge is
+//! added to all of them — so "reachable" errs toward flagging too much,
+//! never too little (DESIGN.md §16 states the policy and its limits):
+//!
+//! * `name(…)` (free call): functions named `name` in the caller's module
+//!   if any exist, otherwise every free function named `name` in the
+//!   workspace (covers `use module::func` imports).
+//! * `.name(…)` (method call): every impl method named `name` on any
+//!   workspace type. Receiver types are never inferred.
+//! * `A::…::name(…)` (path call): methods of the workspace type `A`
+//!   (`Self`/`crate`/`self` handled), or free functions of a module whose
+//!   path ends with the qualifier. A path whose qualifier names *no*
+//!   workspace type or module resolves to nothing — `Vec::new(…)` must
+//!   not edge into every workspace `new`.
+//!
+//! Test functions are excluded as both callers and callees: fixtures and
+//! `#[cfg(test)]` helpers neither create reachability nor receive it.
+
+use crate::symbols::{crate_of, CallTarget, SymbolTable};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parsed `audit_roots` manifest: rule id → root-name suffixes.
+#[derive(Debug, Default)]
+pub struct RootManifest {
+    /// `(rule id, fn suffix)` pairs in file order.
+    pub roots: Vec<(String, String)>,
+}
+
+/// A manifest or root-resolution failure. Fatal to the audit (exit 2).
+#[derive(Debug)]
+pub struct RootError(pub String);
+
+impl std::fmt::Display for RootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "audit_roots: {}", self.0)
+    }
+}
+
+impl RootManifest {
+    /// Parse the manifest text: one `Rn module::path::fn` pair per line,
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<RootManifest, RootError> {
+        let mut roots = Vec::new();
+        for (ix, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(path), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(RootError(format!(
+                    "line {}: expected `RULE fn::path`, got `{line}`",
+                    ix + 1
+                )));
+            };
+            if !matches!(rule, "R7" | "R8") {
+                return Err(RootError(format!(
+                    "line {}: rule `{rule}` does not take reachability roots",
+                    ix + 1
+                )));
+            }
+            roots.push((rule.to_string(), path.to_string()));
+        }
+        Ok(roots_checked(roots))
+    }
+
+    /// Root suffixes declared for `rule`.
+    pub fn for_rule(&self, rule: &str) -> Vec<&str> {
+        self.roots.iter().filter(|(r, _)| r == rule).map(|(_, p)| p.as_str()).collect()
+    }
+}
+
+fn roots_checked(roots: Vec<(String, String)>) -> RootManifest {
+    RootManifest { roots }
+}
+
+/// The resolved call graph: adjacency over [`SymbolTable::fns`] indices.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// `edges[f]` = functions `f` may call, sorted and deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    /// Total resolved edges (what `audit_edges` reports).
+    pub n_edges: usize,
+}
+
+impl CallGraph {
+    /// Resolve every call site of `table` into edges.
+    pub fn build(table: &SymbolTable) -> CallGraph {
+        // Name indexes. Method index spans every impl; free index is
+        // per-module plus global.
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut type_methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut free_global: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_by_module: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut modules: BTreeSet<&str> = BTreeSet::new();
+        for (ix, f) in table.fns.iter().enumerate() {
+            modules.insert(f.module.as_str());
+            if f.is_test {
+                continue;
+            }
+            match &f.self_ty {
+                Some(ty) => {
+                    methods.entry(f.name.as_str()).or_default().push(ix);
+                    type_methods.entry((ty.as_str(), f.name.as_str())).or_default().push(ix);
+                }
+                None => {
+                    free_global.entry(f.name.as_str()).or_default().push(ix);
+                    free_by_module
+                        .entry((f.module.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(ix);
+                }
+            }
+        }
+
+        let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); table.fns.len()];
+        for call in &table.calls {
+            let caller = &table.fns[call.caller];
+            if caller.is_test {
+                continue;
+            }
+            let targets: Vec<usize> = match &call.target {
+                CallTarget::Method(name) => {
+                    methods.get(name.as_str()).cloned().unwrap_or_default()
+                }
+                CallTarget::Free(name) => {
+                    let local = free_by_module.get(&(caller.module.as_str(), name.as_str()));
+                    match local {
+                        Some(v) => v.clone(),
+                        None => free_global.get(name.as_str()).cloned().unwrap_or_default(),
+                    }
+                }
+                CallTarget::Path(segs) => resolve_path(
+                    segs,
+                    caller,
+                    &type_methods,
+                    &free_by_module,
+                    &free_global,
+                    &modules,
+                ),
+            };
+            // Cross-crate edges only into crates the caller's crate
+            // textually references — shared method names alone do not
+            // connect unrelated crates.
+            let caller_crate = crate_of(&caller.module);
+            let refs = table.crate_refs.get(caller_crate);
+            edges[call.caller].extend(targets.into_iter().filter(|&t| {
+                let target_crate = crate_of(&table.fns[t].module);
+                caller_crate == target_crate
+                    || refs.is_some_and(|r| r.contains(target_crate))
+            }));
+        }
+        let edges: Vec<Vec<usize>> = edges.into_iter().map(|s| s.into_iter().collect()).collect();
+        let n_edges = edges.iter().map(Vec::len).sum();
+        CallGraph { edges, n_edges }
+    }
+
+    /// Every function reachable from `roots` (roots included), as a sorted
+    /// set of fn indices.
+    pub fn reachable(&self, roots: &[usize]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = roots.iter().copied().collect();
+        let mut stack: Vec<usize> = roots.to_vec();
+        while let Some(f) = stack.pop() {
+            for &t in &self.edges[f] {
+                if seen.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Resolve a `a::b::name(…)` path call; see the module docs for policy.
+fn resolve_path(
+    segs: &[String],
+    caller: &crate::symbols::FnSym,
+    type_methods: &BTreeMap<(&str, &str), Vec<usize>>,
+    free_by_module: &BTreeMap<(&str, &str), Vec<usize>>,
+    free_global: &BTreeMap<&str, Vec<usize>>,
+    modules: &BTreeSet<&str>,
+) -> Vec<usize> {
+    let name = segs.last().expect("path call has at least two segments");
+    let qual: Vec<&str> =
+        segs[..segs.len() - 1].iter().map(String::as_str).filter(|s| !s.is_empty()).collect();
+    if qual.is_empty() {
+        return Vec::new();
+    }
+    // `Self::name` → the enclosing impl type's method.
+    if qual == ["Self"] {
+        if let Some(ty) = &caller.self_ty {
+            return type_methods.get(&(ty.as_str(), name.as_str())).cloned().unwrap_or_default();
+        }
+        return Vec::new();
+    }
+    // `self::name` → caller's module; `crate::…::name` → caller's crate.
+    if qual == ["self"] {
+        return free_by_module
+            .get(&(caller.module.as_str(), name.as_str()))
+            .cloned()
+            .unwrap_or_default();
+    }
+    if qual.first() == Some(&"crate") {
+        let krate = caller.module.split("::").next().unwrap_or(&caller.module);
+        let mut target = krate.to_string();
+        for seg in &qual[1..] {
+            target.push_str("::");
+            target.push_str(seg);
+        }
+        return free_by_module.get(&(target.as_str(), name.as_str())).cloned().unwrap_or_default();
+    }
+    // `Type::name` — the qualifier's last segment names a workspace type.
+    let last = qual[qual.len() - 1];
+    if let Some(v) = type_methods.get(&(last, name.as_str())) {
+        return v.clone();
+    }
+    // Module-qualified free call: any module whose path ends with the
+    // qualifier sequence.
+    let suffix = qual.join("::");
+    let mut out = Vec::new();
+    for m in modules {
+        if *m == suffix || m.ends_with(&format!("::{suffix}")) {
+            if let Some(v) = free_by_module.get(&(*m, name.as_str())) {
+                out.extend(v.iter().copied());
+            }
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    // An unknown qualifier is a foreign type/module (`Vec::new`): resolve
+    // to nothing rather than every `new` in the workspace. But a known
+    // *type alias* or re-export can hide behind one ident; if the bare
+    // name is unique in the workspace, take that single candidate.
+    if qual.len() == 1 && !modules.contains(last) {
+        if let Some(v) = free_global.get(name.as_str()) {
+            if v.len() == 1 && segs.first().map(String::as_str) == Some(last) {
+                return Vec::new();
+            }
+        }
+    }
+    Vec::new()
+}

@@ -1,9 +1,21 @@
-//! The `mpa-lint` binary: scan the workspace, print findings, optionally
-//! write the JSON report, and exit non-zero on any non-waived finding.
+//! The `mpa-lint` binary: audit the workspace, print findings, optionally
+//! write the JSON report.
 //!
 //! ```text
-//! mpa-lint [--root DIR] [--json FILE] [--quiet]
+//! mpa-lint [--root DIR] [--json FILE] [--quiet] [--graph | --no-graph]
 //! ```
+//!
+//! Graph mode (the full audit: line rules R1–R6 plus the reachability
+//! families R7–R10 over the workspace call graph) is the default;
+//! `--no-graph` restricts the run to the line rules, `--graph` spells the
+//! default for CI scripts that want it explicit.
+//!
+//! Exit-code contract (asserted end-to-end by `tests/cli_exit_codes.rs`):
+//! - **0** — scan completed, zero non-waived findings;
+//! - **1** — scan completed, at least one non-waived finding;
+//! - **2** — the audit itself failed: bad usage, unreadable workspace,
+//!   malformed `audit_roots.txt`, a root matching no function, or a file
+//!   the symbol layer cannot parse. Nothing is silently skipped.
 //!
 //! With no `--root`, the workspace containing this crate is scanned (so
 //! `cargo run -p mpa-lint` works from any directory inside the repo); a
@@ -14,7 +26,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage(program: &str) -> String {
-    format!("usage: {program} [--root DIR] [--json FILE] [--quiet]")
+    format!("usage: {program} [--root DIR] [--json FILE] [--quiet] [--graph | --no-graph]")
 }
 
 fn is_workspace_root(dir: &Path) -> bool {
@@ -48,6 +60,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json_out: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut graph = true;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
@@ -65,6 +78,8 @@ fn main() -> ExitCode {
                 }
             },
             "--quiet" | "-q" => quiet = true,
+            "--graph" => graph = true,
+            "--no-graph" => graph = false,
             "--help" | "-h" => {
                 println!("{}", usage(&program));
                 return ExitCode::SUCCESS;
@@ -79,11 +94,21 @@ fn main() -> ExitCode {
         eprintln!("{program}: no workspace found; pass --root DIR");
         return ExitCode::from(2);
     };
-    let report = match mpa_lint::scan_workspace(&root) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{program}: cannot scan {}: {e}", root.display());
-            return ExitCode::from(2);
+    let report = if graph {
+        match mpa_lint::audit_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{program}: cannot audit {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match mpa_lint::scan_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{program}: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
         }
     };
     if !quiet {

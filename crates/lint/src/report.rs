@@ -23,6 +23,21 @@ pub struct Finding {
     pub justification: String,
 }
 
+/// Reachability statistics from a graph-mode audit. Reported as counters
+/// so CI can baseline them: a silent parser regression that skips files
+/// shows up as a drop in `audit_fns_scanned`, not as a green run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Non-test functions recognized by the symbol layer.
+    pub fns_scanned: u64,
+    /// Resolved call edges in the workspace graph.
+    pub edges: u64,
+    /// Functions reachable from the R7 (panic-safety) roots.
+    pub reachable_r7: u64,
+    /// Functions reachable from the R8 (hot-path allocation) roots.
+    pub reachable_r8: u64,
+}
+
 /// Aggregated scan result over a set of files.
 #[derive(Debug)]
 pub struct Report {
@@ -34,12 +49,14 @@ pub struct Report {
     pub lines_scanned: usize,
     /// Every finding, waived ones included, in (file, line) order.
     pub findings: Vec<Finding>,
+    /// Present when the scan ran in graph mode (the full audit).
+    pub audit: Option<AuditStats>,
 }
 
 impl Report {
     /// Empty report for the given root.
     pub fn new(root: String) -> Self {
-        Self { root, files_scanned: 0, lines_scanned: 0, findings: Vec::new() }
+        Self { root, files_scanned: 0, lines_scanned: 0, findings: Vec::new(), audit: None }
     }
 
     /// Fold one file's scan into the report.
@@ -78,6 +95,12 @@ impl Report {
         out.push(("lint_waivers_rejected".to_string(), count(&|f| f.rule == "W1")));
         out.push(("lint_waivers_unused".to_string(), count(&|f| f.rule == "W2")));
         out.push(("lint_violations".to_string(), count(&|f| !f.waived)));
+        if let Some(a) = &self.audit {
+            out.push(("audit_fns_scanned".to_string(), a.fns_scanned));
+            out.push(("audit_edges".to_string(), a.edges));
+            out.push(("audit_reachable_r7".to_string(), a.reachable_r7));
+            out.push(("audit_reachable_r8".to_string(), a.reachable_r8));
+        }
         out
     }
 
@@ -149,6 +172,12 @@ impl Report {
             violations,
             if violations == 1 { "" } else { "s" },
         ));
+        if let Some(a) = &self.audit {
+            out.push_str(&format!(
+                "mpa-audit: {} fns, {} call edges; reachable: R7={} R8={}\n",
+                a.fns_scanned, a.edges, a.reachable_r7, a.reachable_r8,
+            ));
+        }
         out
     }
 }

@@ -45,11 +45,45 @@ pub enum Rule {
     /// function of explicit inputs, not of ambient process state. CLI
     /// binaries own flag/environment handling.
     R6,
+    /// Panic-safety: `unwrap`/`expect`/`panic!`/`unreachable!`/unchecked
+    /// `[…]` indexing in a function *reachable* from a declared panic-free
+    /// root (`audit_roots.txt`) — serve's request dispatch and the
+    /// per-snapshot replay/render loops. Reachability, not path, decides.
+    R7,
+    /// Allocation-in-hot-path: `to_string`/`format!`/`Vec::new`/`clone()`
+    /// in a function reachable from the `DeltaCursor`/`RenderCache`/
+    /// `ReplayBuffer` inner loops the delta-native PRs de-allocated.
+    R8,
+    /// Lock-discipline in `crates/serve`: a `Mutex`/`RwLock` guard
+    /// lexically held across an I/O call or across a second lock
+    /// acquisition — the daemon's deadlock/latency hazard class.
+    R9,
+    /// Dead counter: an `mpa-obs` `Counter` declared in the registry but
+    /// never incremented anywhere in the workspace.
+    R10,
 }
 
 impl Rule {
     /// Every enforced rule, in report order.
-    pub const ALL: [Rule; 6] = [Rule::R1, Rule::R2, Rule::R3, Rule::R4, Rule::R5, Rule::R6];
+    pub const ALL: [Rule; 10] = [
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
+        Rule::R4,
+        Rule::R5,
+        Rule::R6,
+        Rule::R7,
+        Rule::R8,
+        Rule::R9,
+        Rule::R10,
+    ];
+
+    /// True for the reachability-sensitive rules (R7–R10) that only the
+    /// graph-mode audit evaluates; the flat line scan never fires them, so
+    /// it must not flag their waivers as unused either.
+    pub fn needs_graph(self) -> bool {
+        matches!(self, Rule::R7 | Rule::R8 | Rule::R9 | Rule::R10)
+    }
 
     /// Short id as written in findings and waivers (`"R1"`).
     pub fn id(self) -> &'static str {
@@ -60,6 +94,10 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::R7 => "R7",
+            Rule::R8 => "R8",
+            Rule::R9 => "R9",
+            Rule::R10 => "R10",
         }
     }
 
@@ -72,6 +110,10 @@ impl Rule {
             Rule::R4 => "thread-dependent-value",
             Rule::R5 => "unsafe-outside-allowlist",
             Rule::R6 => "env-in-pipeline",
+            Rule::R7 => "panic-in-reachable-path",
+            Rule::R8 => "alloc-in-hot-path",
+            Rule::R9 => "lock-across-io",
+            Rule::R10 => "dead-counter",
         }
     }
 
@@ -84,6 +126,10 @@ impl Rule {
             Rule::R4 => "thread-dependent value in pipeline logic",
             Rule::R5 => "unsafe code outside the audited crates",
             Rule::R6 => "environment read in pipeline logic",
+            Rule::R7 => "panic site reachable from a declared panic-free root",
+            Rule::R8 => "allocation in a function reachable from a hot inner loop",
+            Rule::R9 => "lock guard held across I/O or a second lock acquisition",
+            Rule::R10 => "obs counter declared but never incremented",
         }
     }
 
@@ -96,6 +142,10 @@ impl Rule {
             "R4" => Some(Rule::R4),
             "R5" => Some(Rule::R5),
             "R6" => Some(Rule::R6),
+            "R7" => Some(Rule::R7),
+            "R8" => Some(Rule::R8),
+            "R9" => Some(Rule::R9),
+            "R10" => Some(Rule::R10),
             _ => None,
         }
     }
@@ -119,6 +169,10 @@ impl Rule {
             Rule::R4 | Rule::R5 => under(&["crates/obs/", "crates/exec/"]),
             // CLI binaries own argument and environment handling.
             Rule::R6 => rel.contains("/bin/"),
+            // The audit families are not path-gated: R7/R8 are scoped by
+            // call-graph reachability, R9 by the serve crate, R10 by the
+            // counter registry. `allowed_path` never suspends them.
+            Rule::R7 | Rule::R8 | Rule::R9 | Rule::R10 => false,
         }
     }
 }
@@ -159,7 +213,7 @@ mod tests {
             assert_eq!(Rule::parse(r.id()), Some(r));
             assert_eq!(Rule::parse(&r.id().to_ascii_lowercase()), Some(r));
         }
-        assert_eq!(Rule::parse("R9"), None);
+        assert_eq!(Rule::parse("R11"), None);
         assert_eq!(Rule::parse(""), None);
     }
 

@@ -49,7 +49,7 @@ pub struct FileScan {
 // --- sanitizer -----------------------------------------------------------
 
 /// Lexer state carried across lines.
-enum Strip {
+pub(crate) enum Strip {
     /// Plain code.
     Code,
     /// Inside a block comment, at the given nesting depth.
@@ -66,7 +66,7 @@ enum Strip {
 /// the byte offset of a trailing `//` line comment, when the line has one
 /// in code position (not inside a literal or block comment) — the only
 /// place a waiver may live.
-fn sanitize_line(state: &mut Strip, line: &str) -> (String, Option<usize>) {
+pub(crate) fn sanitize_line(state: &mut Strip, line: &str) -> (String, Option<usize>) {
     let chars: Vec<char> = line.chars().collect();
     let mut out = String::with_capacity(line.len());
     let mut comment_start = None;
@@ -204,15 +204,15 @@ fn sanitize_line(state: &mut Strip, line: &str) -> (String, Option<usize>) {
 /// never contains the contiguous token and cannot waive itself.
 const MARKER: &str = concat!("mpa-", "lint: allow(");
 
-struct Waiver {
+pub(crate) struct Waiver {
     /// 1-based line the waiver comment sits on.
-    line: usize,
-    rules: Vec<Rule>,
-    justification: String,
+    pub(crate) line: usize,
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) justification: String,
     /// Why the waiver is invalid, if it is. Rejected waivers suppress
     /// nothing.
-    rejected: Option<String>,
-    used: bool,
+    pub(crate) rejected: Option<String>,
+    pub(crate) used: bool,
 }
 
 /// Parse a waiver from the trailing `//` comment of a line. `comment` is
@@ -364,9 +364,9 @@ fn iterates_hash(line: &str, name: &str) -> bool {
     false
 }
 
-/// Run every rule over the sanitized lines of one file. `rel_path` drives
-/// the per-rule allowlists.
-fn detect(rel_path: &str, code: &[String]) -> Vec<(Rule, usize)> {
+/// Run every line rule (R1–R6) over the sanitized lines of one file.
+/// `rel_path` drives the per-rule allowlists.
+pub(crate) fn detect(rel_path: &str, code: &[String]) -> Vec<(Rule, usize)> {
     let mut hits = Vec::new();
     let hash_idents = if Rule::R2.allowed_path(rel_path) {
         BTreeSet::new()
@@ -414,7 +414,7 @@ fn detect(rel_path: &str, code: &[String]) -> Vec<(Rule, usize)> {
 
 // --- per-file scan -------------------------------------------------------
 
-fn excerpt_of(raw: &str) -> String {
+pub(crate) fn excerpt_of(raw: &str) -> String {
     let trimmed = raw.trim();
     if trimmed.len() > 160 {
         let mut cut = 160;
@@ -427,65 +427,101 @@ fn excerpt_of(raw: &str) -> String {
     }
 }
 
-/// Scan one file's source text. `rel_path` must be the workspace-relative
-/// path with forward slashes; it selects the per-rule allowlists.
-pub fn scan_source(rel_path: &str, text: &str) -> FileScan {
-    let raw: Vec<&str> = text.lines().collect();
-    let mut state = Strip::Code;
-    let mut code = Vec::with_capacity(raw.len());
-    let mut waivers: Vec<Waiver> = Vec::new();
-    for (ix, l) in raw.iter().enumerate() {
-        let (sanitized, comment_start) = sanitize_line(&mut state, l);
-        code.push(sanitized);
-        if let Some(w) = comment_start.and_then(|at| parse_waiver(ix + 1, &l[at..])) {
-            waivers.push(w);
+/// One source file, sanitized once and shared by every analysis layer:
+/// the R1–R6 line rules, the symbol/call-graph audit (R7–R10) and the
+/// waiver resolution that closes a scan.
+pub(crate) struct SourceFile {
+    pub(crate) rel_path: String,
+    /// Raw source lines (for excerpts).
+    pub(crate) raw: Vec<String>,
+    /// Sanitized lines: comments and literals blanked, positions kept.
+    pub(crate) code: Vec<String>,
+    /// Waivers parsed out of trailing `//` comments, in line order.
+    pub(crate) waivers: Vec<Waiver>,
+}
+
+impl SourceFile {
+    pub(crate) fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let mut state = Strip::Code;
+        let mut raw = Vec::new();
+        let mut code = Vec::new();
+        let mut waivers: Vec<Waiver> = Vec::new();
+        for (ix, l) in text.lines().enumerate() {
+            let (sanitized, comment_start) = sanitize_line(&mut state, l);
+            code.push(sanitized);
+            if let Some(w) = comment_start.and_then(|at| parse_waiver(ix + 1, &l[at..])) {
+                waivers.push(w);
+            }
+            raw.push(l.to_string());
         }
+        SourceFile { rel_path: rel_path.to_string(), raw, code, waivers }
     }
 
-    let mut findings = Vec::new();
-    for (rule, line_no) in detect(rel_path, &code) {
-        let mut waived = false;
-        let mut justification = String::new();
-        for w in waivers.iter_mut().filter(|w| w.rejected.is_none()) {
-            if (w.line == line_no || w.line + 1 == line_no) && w.rules.contains(&rule) {
-                w.used = true;
-                waived = true;
-                justification = w.justification.clone();
-                break;
+    /// Apply the file's waivers to a batch of rule hits and emit the final
+    /// findings, including the `W1`/`W2` waiver-defect pseudo-findings.
+    /// Consumes the waiver `used` state, so call it once per file with
+    /// *every* hit from *every* rule family. `graph_rules_ran` says whether
+    /// the batch includes R7–R10 hits (graph-mode audit); when false, a
+    /// waiver naming only graph rules is left alone rather than W2-flagged,
+    /// since this scan never evaluated the rules it targets.
+    pub(crate) fn resolve(mut self, mut hits: Vec<(Rule, usize)>, graph_rules_ran: bool) -> FileScan {
+        hits.sort_unstable_by_key(|&(r, line)| (line, r));
+        hits.dedup();
+        let mut findings = Vec::new();
+        for (rule, line_no) in hits {
+            let mut waived = false;
+            let mut justification = String::new();
+            for w in self.waivers.iter_mut().filter(|w| w.rejected.is_none()) {
+                if (w.line == line_no || w.line + 1 == line_no) && w.rules.contains(&rule) {
+                    w.used = true;
+                    waived = true;
+                    justification = w.justification.clone();
+                    break;
+                }
+            }
+            findings.push(Finding {
+                rule: rule.id().to_string(),
+                file: self.rel_path.clone(),
+                line: line_no,
+                excerpt: excerpt_of(&self.raw[line_no - 1]),
+                waived,
+                justification,
+            });
+        }
+        for w in &self.waivers {
+            if let Some(reason) = &w.rejected {
+                findings.push(Finding {
+                    rule: "W1".to_string(),
+                    file: self.rel_path.clone(),
+                    line: w.line,
+                    excerpt: format!("rejected waiver: {reason}"),
+                    waived: false,
+                    justification: String::new(),
+                });
+            } else if !w.used && (graph_rules_ran || !w.rules.iter().all(|r| r.needs_graph())) {
+                findings.push(Finding {
+                    rule: "W2".to_string(),
+                    file: self.rel_path.clone(),
+                    line: w.line,
+                    excerpt: "waiver suppresses no finding; delete it".to_string(),
+                    waived: false,
+                    justification: String::new(),
+                });
             }
         }
-        findings.push(Finding {
-            rule: rule.id().to_string(),
-            file: rel_path.to_string(),
-            line: line_no,
-            excerpt: excerpt_of(raw[line_no - 1]),
-            waived,
-            justification,
-        });
+        findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+        FileScan { rel_path: self.rel_path, lines: self.raw.len(), findings }
     }
-    for w in &waivers {
-        if let Some(reason) = &w.rejected {
-            findings.push(Finding {
-                rule: "W1".to_string(),
-                file: rel_path.to_string(),
-                line: w.line,
-                excerpt: format!("rejected waiver: {reason}"),
-                waived: false,
-                justification: String::new(),
-            });
-        } else if !w.used {
-            findings.push(Finding {
-                rule: "W2".to_string(),
-                file: rel_path.to_string(),
-                line: w.line,
-                excerpt: "waiver suppresses no finding; delete it".to_string(),
-                waived: false,
-                justification: String::new(),
-            });
-        }
-    }
-    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
-    FileScan { rel_path: rel_path.to_string(), lines: raw.len(), findings }
+}
+
+/// Scan one file's source text with the line rules (R1–R6) only.
+/// `rel_path` must be the workspace-relative path with forward slashes; it
+/// selects the per-rule allowlists. The reachability rules need a whole
+/// source *set*; see [`crate::audit_source_set`].
+pub fn scan_source(rel_path: &str, text: &str) -> FileScan {
+    let file = SourceFile::parse(rel_path, text);
+    let hits = detect(rel_path, &file.code);
+    file.resolve(hits, false)
 }
 
 // --- workspace walk ------------------------------------------------------
@@ -507,11 +543,12 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scan the workspace rooted at `root`: the facade's `src/` plus every
-/// `crates/*/src/` tree, in sorted path order. Vendored `compat/` shims,
-/// integration-test directories and golden fixtures are intentionally out
-/// of scope — the contract governs code that can reach pipeline output.
-pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+/// Read every in-scope source file under `root` as `(rel_path, text)`
+/// pairs in sorted path order: the facade's `src/` plus every
+/// `crates/*/src/` tree. Vendored `compat/` shims, integration-test
+/// directories and golden fixtures are intentionally out of scope — the
+/// contract governs code that can reach pipeline output.
+pub(crate) fn read_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(&root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
@@ -523,7 +560,7 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
             collect_rs(&c.join("src"), &mut files)?;
         }
     }
-    let mut report = Report::new(root.display().to_string());
+    let mut out = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -533,6 +570,17 @@ pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
             .collect::<Vec<_>>()
             .join("/");
         let text = std::fs::read_to_string(&path)?;
+        out.push((rel, text));
+    }
+    Ok(out)
+}
+
+/// Scan the workspace rooted at `root` with the line rules (R1–R6) only.
+/// The full audit — line rules plus the reachability families R7–R10 —
+/// is [`crate::audit_workspace`].
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::new(root.display().to_string());
+    for (rel, text) in read_workspace_sources(root)? {
         report.absorb(scan_source(&rel, &text));
     }
     Ok(report)

@@ -1,0 +1,603 @@
+//! The workspace symbol layer: a token-level Rust *item* parser.
+//!
+//! Built on the same sanitized line stream as the line rules, this module
+//! recovers just enough structure for reachability-sensitive rules:
+//!
+//! * the module tree — the crate module from the file path
+//!   (`crates/config/src/archive.rs` → `mpa_config::archive`) plus inline
+//!   `mod name { … }` blocks;
+//! * `impl` blocks and the self type they attach methods to;
+//! * every `fn` item with its line span, qualified name and test status
+//!   (`#[test]` functions and anything inside a `#[cfg(test)]` module);
+//! * every call-shaped token inside a function body — `free(…)`,
+//!   `.method(…)`, `Path::seg(…)` — tagged with the enclosing function.
+//!
+//! It is a *token* parser, not a grammar: brace depth is tracked exactly
+//! (the sanitizer removes every brace inside comments and literals), items
+//! are recognized by keyword, and everything else — expressions, types,
+//! patterns — is skipped. The known blind spots and the resulting
+//! over-approximation policy are documented in DESIGN.md §16. A file whose
+//! braces do not balance at EOF is a hard [`SymbolError`] (exit 2 in the
+//! binary), never a silent skip: an unbalanced file means the sanitizer
+//! desynchronized and every downstream answer would be garbage.
+
+use crate::scan::SourceFile;
+
+/// A parse failure at the symbol layer. Always fatal to the audit.
+#[derive(Debug)]
+pub struct SymbolError {
+    /// Workspace-relative file the failure was detected in.
+    pub file: String,
+    /// 1-based line (best effort — EOF imbalance reports the last line).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SymbolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.message)
+    }
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index of the owning file in the parsed set.
+    pub file: usize,
+    /// Module path, e.g. `mpa_config::archive` (inline mods appended).
+    pub module: String,
+    /// Self type when the fn sits in an `impl` block.
+    pub self_ty: Option<String>,
+    /// Bare function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub start_line: usize,
+    /// 1-based line of the closing brace.
+    pub end_line: usize,
+    /// Inside a `#[cfg(test)]` module, or carries `#[test]`.
+    pub is_test: bool,
+}
+
+impl FnSym {
+    /// `module::[Type::]name` — the name roots and reports use.
+    pub fn qual(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{}::{}::{}", self.module, t, self.name),
+            None => format!("{}::{}", self.module, self.name),
+        }
+    }
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `name(…)` — a free call, resolved module-first.
+    Free(String),
+    /// `.name(…)` — a method call, resolved by name over every impl.
+    Method(String),
+    /// `a::b::name(…)` — a path call, resolved against types and modules.
+    Path(Vec<String>),
+}
+
+/// One call-shaped token inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the calling function in [`SymbolTable::fns`].
+    pub caller: usize,
+    /// The syntactic target.
+    pub target: CallTarget,
+    /// 1-based line of the call token.
+    pub line: usize,
+}
+
+/// Per-file derived layout the rule matchers need.
+#[derive(Debug)]
+pub struct FileLayout {
+    /// For each 0-based line: the innermost enclosing fn, if any.
+    pub owner: Vec<Option<usize>>,
+    /// Brace depth at the *end* of each 0-based line.
+    pub depth_end: Vec<u32>,
+}
+
+/// The parsed workspace: every function, call site and file layout.
+#[derive(Debug)]
+pub struct SymbolTable {
+    /// All functions, in (file, start line) order.
+    pub fns: Vec<FnSym>,
+    /// All call sites, in encounter order.
+    pub calls: Vec<CallSite>,
+    /// Per-file layouts, parallel to the input file set.
+    pub layouts: Vec<FileLayout>,
+    /// Crate → crates it textually references (`mpa_x` tokens anywhere in
+    /// its sanitized sources). The call graph drops name-resolved edges
+    /// into crates the caller never mentions: `mpa-serve` cannot call into
+    /// `mpa-lint` however many method names they share.
+    pub crate_refs: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
+}
+
+impl SymbolTable {
+    /// Parse every file of a source set. Fails on the first file whose
+    /// braces do not balance.
+    pub(crate) fn build(files: &[SourceFile]) -> Result<SymbolTable, SymbolError> {
+        let mut table = SymbolTable {
+            fns: Vec::new(),
+            calls: Vec::new(),
+            layouts: Vec::new(),
+            crate_refs: std::collections::BTreeMap::new(),
+        };
+        for (ix, file) in files.iter().enumerate() {
+            let layout = parse_file(ix, file, &mut table)?;
+            table.layouts.push(layout);
+            let krate = crate_of(&module_of(&file.rel_path)).to_string();
+            let refs = table.crate_refs.entry(krate).or_default();
+            for line in &file.code {
+                collect_crate_refs(line, refs);
+            }
+        }
+        Ok(table)
+    }
+
+    /// Functions whose qualified name ends with the `::`-separated
+    /// `suffix` (a full match also counts). Test fns never match.
+    pub fn find_by_suffix(&self, suffix: &str) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && qual_ends_with(&f.qual(), suffix))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// `qual` equals `suffix` or ends with `::suffix`.
+fn qual_ends_with(qual: &str, suffix: &str) -> bool {
+    qual == suffix
+        || (qual.len() > suffix.len() + 2
+            && qual.ends_with(suffix)
+            && qual[..qual.len() - suffix.len()].ends_with("::"))
+}
+
+/// The crate segment of a module path (`mpa_config::archive` →
+/// `mpa_config`).
+pub(crate) fn crate_of(module: &str) -> &str {
+    module.split("::").next().unwrap_or(module)
+}
+
+/// Collect `mpa_<x>` crate tokens from a sanitized line into `refs`.
+fn collect_crate_refs(line: &str, refs: &mut std::collections::BTreeSet<String>) {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line.get(from..).and_then(|h| h.find("mpa_")).map(|p| p + from) {
+        let mut end = pos + 4;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        from = end;
+        if pos > 0 && (bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_') {
+            continue;
+        }
+        if end > pos + 4 {
+            refs.insert(line[pos..end].to_string());
+        }
+    }
+}
+
+/// Crate-level module path from a workspace-relative file path.
+/// `src/lib.rs` → `mpa`; `crates/serve/src/bin/mpa-serve.rs` →
+/// `mpa_serve::bin::mpa_serve`.
+pub(crate) fn module_of(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (krate, rest) = if parts.first() == Some(&"crates") && parts.len() > 2 {
+        (format!("mpa_{}", parts[1].replace('-', "_")), &parts[3..])
+    } else {
+        ("mpa".to_string(), &parts[1..])
+    };
+    let mut module = krate;
+    for (i, seg) in rest.iter().enumerate() {
+        let last = i + 1 == rest.len();
+        let seg = if last { seg.trim_end_matches(".rs") } else { seg };
+        if last && (seg == "lib" || seg == "main" || seg == "mod") {
+            continue;
+        }
+        module.push_str("::");
+        module.push_str(&seg.replace('-', "_"));
+    }
+    module
+}
+
+// --- tokenizer ------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Sym(char),
+}
+
+/// Flatten the sanitized lines to a token stream with 1-based line tags.
+/// Lifetimes (`'a`) are skipped so `<'a>` never looks like an ident.
+fn tokenize(code: &[String]) -> Vec<(Tok, usize)> {
+    let mut toks = Vec::new();
+    for (ix, line) in code.iter().enumerate() {
+        let line_no = ix + 1;
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let b = bytes[i];
+            if b.is_ascii_alphabetic() || b == b'_' {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(line[start..i].to_string()), line_no));
+            } else if b.is_ascii_digit() {
+                // Numeric literal (possibly `1e3`, `0xff`, `1_000u64`). A
+                // `.` is part of the literal only when a digit follows, so
+                // `1..n` stays three tokens.
+                while i < bytes.len() {
+                    let in_literal = bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || (bytes[i] == b'.'
+                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit));
+                    if !in_literal {
+                        break;
+                    }
+                    i += 1;
+                }
+            } else if b == b'\'' {
+                // Lifetime marker (literals were sanitized away): skip the
+                // quote and the label so it never reads as an ident.
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+            } else if b == b' ' || b == b'\t' {
+                i += 1;
+            } else {
+                toks.push((Tok::Sym(b as char), line_no));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+// --- item parser ----------------------------------------------------------
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "let", "else", "unsafe",
+    "await", "dyn", "ref", "mut", "pub", "use", "where", "impl", "trait", "struct", "enum",
+    "union", "static", "const", "type", "crate", "super", "fn", "mod", "break", "continue",
+    "true", "false", "extern",
+];
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// Inline `mod name {`; `test` marks `#[cfg(test)]`.
+    Module { test: bool },
+    /// `impl … {` with the recovered self type.
+    Impl { prev_self_ty: Option<String> },
+    /// `fn … {`: the index into `fns`, and the fn that enclosed it.
+    Fn { ix: usize, prev_fn: Option<usize> },
+    /// Any other brace.
+    Block,
+}
+
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth *after* entering this scope.
+    depth: u32,
+}
+
+/// What an `fn`/`mod`/`impl` keyword has announced but not yet opened.
+enum Pending {
+    Fn { name: String, line: usize, test: bool },
+    Mod { name: String, test: bool },
+    Impl,
+}
+
+struct Parser {
+    module_stack: Vec<String>,
+    scopes: Vec<Scope>,
+    depth: u32,
+    cur_fn: Option<usize>,
+    cur_self_ty: Option<String>,
+    in_test_module: u32,
+    pending: Option<Pending>,
+    /// Attr state for the *next* item: `#[test]` / `#[cfg(test)]`.
+    attr_test_fn: bool,
+    attr_cfg_test: bool,
+    /// Self type recovered from an `impl` header, consumed at its `{`.
+    cur_self_ty_pending: Option<String>,
+}
+
+fn parse_file(
+    file_ix: usize,
+    file: &SourceFile,
+    table: &mut SymbolTable,
+) -> Result<FileLayout, SymbolError> {
+    let toks = tokenize(&file.code);
+    let mut p = Parser {
+        module_stack: vec![module_of(&file.rel_path)],
+        scopes: Vec::new(),
+        depth: 0,
+        cur_fn: None,
+        cur_self_ty: None,
+        in_test_module: 0,
+        pending: None,
+        attr_test_fn: false,
+        attr_cfg_test: false,
+        cur_self_ty_pending: None,
+    };
+    let mut owner: Vec<Option<usize>> = vec![None; file.code.len()];
+    let mut depth_end: Vec<u32> = vec![0; file.code.len()];
+    let mut last_line = 1usize;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let (tok, line) = &toks[i];
+        // Fill per-line layout for the lines crossed since the last token.
+        for l in last_line..=*line {
+            if l >= 1 {
+                owner[l - 1] = p.cur_fn;
+                depth_end[l - 1] = p.depth;
+            }
+        }
+        last_line = *line;
+        match tok {
+            Tok::Sym('#') if matches!(toks.get(i + 1), Some((Tok::Sym('['), _))) => {
+                // Attribute: capture the bracketed tokens.
+                let mut j = i + 2;
+                let mut nest = 1u32;
+                let mut idents: Vec<&str> = Vec::new();
+                while j < toks.len() && nest > 0 {
+                    match &toks[j].0 {
+                        Tok::Sym('[') => nest += 1,
+                        Tok::Sym(']') => nest -= 1,
+                        Tok::Ident(s) => idents.push(s),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if idents.first() == Some(&"test") {
+                    p.attr_test_fn = true;
+                }
+                if idents.first() == Some(&"cfg") && idents.contains(&"test") {
+                    p.attr_cfg_test = true;
+                }
+                i = j;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                if let Some((Tok::Ident(name), _)) = toks.get(i + 1) {
+                    p.pending =
+                        Some(Pending::Mod { name: name.clone(), test: p.attr_cfg_test });
+                    p.attr_cfg_test = false;
+                    i += 2;
+                    continue;
+                }
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                p.pending = Some(Pending::Impl);
+                p.attr_cfg_test = false;
+                // The self type is recovered when the `{` arrives; scan is
+                // done there so generics/`for` are seen in one place.
+                let (ty, j) = scan_impl_self_ty(&toks, i + 1);
+                p.cur_self_ty_pending = ty;
+                i = j;
+                continue;
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                if let Some((Tok::Ident(name), fl)) = toks.get(i + 1) {
+                    p.pending = Some(Pending::Fn {
+                        name: name.clone(),
+                        line: *fl,
+                        test: p.attr_test_fn || p.in_test_module > 0,
+                    });
+                    p.attr_test_fn = false;
+                    i += 2;
+                    continue;
+                }
+                // `fn(` — a function-pointer type; not an item.
+            }
+            Tok::Sym(';') => {
+                // Trait method signature or file-module declaration.
+                if matches!(p.pending, Some(Pending::Fn { .. }) | Some(Pending::Mod { .. })) {
+                    p.pending = None;
+                }
+            }
+            Tok::Sym('{') => {
+                p.depth += 1;
+                let kind = match p.pending.take() {
+                    Some(Pending::Fn { name, line: fn_line, test }) => {
+                        let sym = FnSym {
+                            file: file_ix,
+                            module: p.module_stack.join("::"),
+                            self_ty: p.cur_self_ty.clone(),
+                            name,
+                            start_line: fn_line,
+                            end_line: fn_line,
+                            is_test: test,
+                        };
+                        table.fns.push(sym);
+                        let ix = table.fns.len() - 1;
+                        let prev = p.cur_fn.replace(ix);
+                        ScopeKind::Fn { ix, prev_fn: prev }
+                    }
+                    Some(Pending::Mod { name, test }) => {
+                        p.module_stack.push(name);
+                        if test {
+                            p.in_test_module += 1;
+                        }
+                        ScopeKind::Module { test }
+                    }
+                    Some(Pending::Impl) => {
+                        let prev = p.cur_self_ty.take();
+                        p.cur_self_ty = p.cur_self_ty_pending.take();
+                        ScopeKind::Impl { prev_self_ty: prev }
+                    }
+                    None => ScopeKind::Block,
+                };
+                p.scopes.push(Scope { kind, depth: p.depth });
+                owner[*line - 1] = p.cur_fn;
+                depth_end[*line - 1] = p.depth;
+            }
+            Tok::Sym('}') => {
+                if p.depth == 0 {
+                    return Err(SymbolError {
+                        file: file.rel_path.clone(),
+                        line: *line,
+                        message: "unbalanced `}` (no open brace)".to_string(),
+                    });
+                }
+                if p.scopes.last().is_some_and(|s| s.depth == p.depth) {
+                    let scope = p.scopes.pop().expect("scope stack checked non-empty");
+                    match scope.kind {
+                        ScopeKind::Fn { ix, prev_fn } => {
+                            table.fns[ix].end_line = *line;
+                            p.cur_fn = prev_fn;
+                        }
+                        ScopeKind::Module { test } => {
+                            p.module_stack.pop();
+                            if test {
+                                p.in_test_module -= 1;
+                            }
+                        }
+                        ScopeKind::Impl { prev_self_ty } => {
+                            p.cur_self_ty = prev_self_ty;
+                        }
+                        ScopeKind::Block => {}
+                    }
+                }
+                p.depth -= 1;
+                depth_end[*line - 1] = p.depth;
+            }
+            Tok::Ident(name) => {
+                // Call-shaped token? Only meaningful inside a function.
+                if let Some(caller) = p.cur_fn {
+                    if !KEYWORDS.contains(&name.as_str()) {
+                        if let Some(call) = read_call(&toks, i, name) {
+                            table.calls.push(CallSite { caller, target: call, line: *line });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    for l in last_line..=file.code.len() {
+        if l >= 1 {
+            owner[l - 1] = p.cur_fn;
+            depth_end[l - 1] = p.depth;
+        }
+    }
+    if p.depth != 0 {
+        return Err(SymbolError {
+            file: file.rel_path.clone(),
+            line: file.code.len(),
+            message: format!("{} unclosed brace(s) at end of file", p.depth),
+        });
+    }
+    Ok(FileLayout { owner, depth_end })
+}
+
+/// Scan the tokens of an `impl` header (after the keyword) and return the
+/// recovered self type plus the index of the `{`/`;` that ends the header.
+/// `impl<T> Foo<T>` → `Foo`; `impl Trait for Bar` → `Bar`;
+/// `impl a::b::Baz` → `Baz`.
+fn scan_impl_self_ty(toks: &[(Tok, usize)], mut i: usize) -> (Option<String>, usize) {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut prev_was_dash = false;
+    while i < toks.len() {
+        match &toks[i].0 {
+            Tok::Sym('{') | Tok::Sym(';') if angle == 0 => return (last_ident, i),
+            Tok::Sym('<') => angle += 1,
+            Tok::Sym('>') => {
+                if prev_was_dash {
+                    // `->` in a where-bound `Fn() -> T`; not a closer.
+                } else if angle > 0 {
+                    angle -= 1;
+                }
+            }
+            Tok::Ident(s) if angle == 0 => {
+                if s == "where" {
+                    // Everything after `where` is bounds, not the type.
+                    while i < toks.len() && !matches!(toks[i].0, Tok::Sym('{') | Tok::Sym(';')) {
+                        i += 1;
+                    }
+                    return (last_ident, i);
+                }
+                if s == "for" {
+                    last_ident = None;
+                } else if !KEYWORDS.contains(&s.as_str()) {
+                    last_ident = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        prev_was_dash = matches!(toks[i].0, Tok::Sym('-'));
+        i += 1;
+    }
+    (last_ident, i)
+}
+
+/// If the ident at `i` heads a call (`name(…)`, optionally with a
+/// turbofish), classify it as free/method/path using the tokens before it.
+fn read_call(toks: &[(Tok, usize)], i: usize, name: &str) -> Option<CallTarget> {
+    // A `(` must follow, optionally after `::<…>`.
+    let mut j = i + 1;
+    if matches!(toks.get(j), Some((Tok::Sym(':'), _)))
+        && matches!(toks.get(j + 1), Some((Tok::Sym(':'), _)))
+        && matches!(toks.get(j + 2), Some((Tok::Sym('<'), _)))
+    {
+        let mut angle = 1i32;
+        j += 3;
+        while j < toks.len() && angle > 0 {
+            match toks[j].0 {
+                Tok::Sym('<') => angle += 1,
+                Tok::Sym('>') => angle -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if !matches!(toks.get(j), Some((Tok::Sym('('), _))) {
+        return None;
+    }
+    // Macro (`name!(…)`) — not a call edge (rule patterns handle macros).
+    if matches!(toks.get(i + 1), Some((Tok::Sym('!'), _))) {
+        return None;
+    }
+    // Look behind: `.` → method; `::` → path; else free.
+    if i >= 1 {
+        if let (Tok::Sym('.'), _) = &toks[i - 1] {
+            return Some(CallTarget::Method(name.to_string()));
+        }
+    }
+    if i >= 2
+        && matches!(toks[i - 1].0, Tok::Sym(':'))
+        && matches!(toks[i - 2].0, Tok::Sym(':'))
+    {
+        // Walk the path backwards: ident (:: ident)* name.
+        let mut segs = vec![name.to_string()];
+        let mut k = i;
+        while k >= 2
+            && matches!(toks[k - 1].0, Tok::Sym(':'))
+            && matches!(toks[k - 2].0, Tok::Sym(':'))
+        {
+            if k >= 3 {
+                if let Tok::Ident(seg) = &toks[k - 3].0 {
+                    segs.push(seg.clone());
+                    k -= 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        segs.reverse();
+        return Some(CallTarget::Path(segs));
+    }
+    Some(CallTarget::Free(name.to_string()))
+}

@@ -1,0 +1,159 @@
+//! Unit suite for the symbol layer's call-graph resolution: cycles
+//! terminate, cross-module path calls resolve, method and free-function
+//! namespaces stay separate, the cross-crate reference filter holds, and
+//! a manifest root that matches nothing is a hard error (the exit-2
+//! contract), never a silent skip.
+
+use mpa_lint::{audit_source_set, symbols_of, AuditError, CallGraph, SymbolTable};
+
+fn sources(files: &[(&str, &str)]) -> Vec<(String, String)> {
+    files.iter().map(|(p, t)| (p.to_string(), t.to_string())).collect()
+}
+
+fn build(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+    let table = symbols_of(&sources(files)).expect("symbols");
+    let graph = CallGraph::build(&table);
+    (table, graph)
+}
+
+/// Index of the only fn named `name`; panics if ambiguous so tests stay
+/// honest about which symbol they assert on.
+fn fn_ix(table: &SymbolTable, name: &str) -> usize {
+    let hits: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == name)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits.len(), 1, "fn `{name}` not unique: {hits:?}");
+    hits[0]
+}
+
+/// Index of the impl method `ty::name`.
+fn method_ix(table: &SymbolTable, ty: &str, name: &str) -> usize {
+    let hits: Vec<usize> = table
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.name == name && f.self_ty.as_deref() == Some(ty))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(hits.len(), 1, "method `{ty}::{name}` not unique: {hits:?}");
+    hits[0]
+}
+
+#[test]
+fn mutual_recursion_terminates_and_reaches_both_fns() {
+    let (table, graph) = build(&[(
+        "crates/fixture/src/lib.rs",
+        "pub fn ping(n: u32) -> u32 {\n    if n == 0 { 0 } else { pong(n) }\n}\n\npub fn pong(n: u32) -> u32 {\n    ping(n - 1)\n}\n",
+    )]);
+    let (ping, pong) = (fn_ix(&table, "ping"), fn_ix(&table, "pong"));
+    let reach = graph.reachable(&[ping]);
+    assert!(reach.contains(&ping) && reach.contains(&pong), "{reach:?}");
+    // The cycle resolves symmetrically and the DFS does not loop.
+    let reach = graph.reachable(&[pong]);
+    assert!(reach.contains(&ping) && reach.contains(&pong), "{reach:?}");
+}
+
+#[test]
+fn cross_module_path_calls_resolve() {
+    let (table, graph) = build(&[
+        (
+            "crates/fixture/src/a.rs",
+            "pub fn entry() -> u32 {\n    crate::b::helper() + b::helper()\n}\n",
+        ),
+        ("crates/fixture/src/b.rs", "pub fn helper() -> u32 {\n    7\n}\n"),
+    ]);
+    let (entry, helper) = (fn_ix(&table, "entry"), fn_ix(&table, "helper"));
+    assert_eq!(graph.edges[entry], vec![helper]);
+    assert!(graph.reachable(&[entry]).contains(&helper));
+}
+
+#[test]
+fn method_and_free_fn_namespaces_stay_separate() {
+    let (table, graph) = build(&[(
+        "crates/fixture/src/lib.rs",
+        "pub struct Engine;\n\nimpl Engine {\n    pub fn run(&self) -> u32 {\n        17\n    }\n}\n\npub fn run() -> u32 {\n    3\n}\n\npub fn drive(e: &Engine) -> u32 {\n    e.run()\n}\n\npub fn call_free() -> u32 {\n    run()\n}\n\npub fn call_typed(e: &Engine) -> u32 {\n    Engine::run(e)\n}\n",
+    )]);
+    let method = method_ix(&table, "Engine", "run");
+    let free = {
+        let hits: Vec<usize> = table
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name == "run" && f.self_ty.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        hits[0]
+    };
+    // `.run()` goes to the method family only, `run()` to the free fn
+    // only, `Engine::run(…)` to exactly the named type's method.
+    assert_eq!(graph.edges[fn_ix(&table, "drive")], vec![method]);
+    assert_eq!(graph.edges[fn_ix(&table, "call_free")], vec![free]);
+    assert_eq!(graph.edges[fn_ix(&table, "call_typed")], vec![method]);
+}
+
+#[test]
+fn foreign_type_path_calls_resolve_to_nothing() {
+    let (table, graph) = build(&[(
+        "crates/fixture/src/lib.rs",
+        "pub fn new() -> u32 {\n    9\n}\n\npub fn fresh() -> Vec<u32> {\n    Vec::new()\n}\n",
+    )]);
+    // `Vec` is not a workspace type: the call must not edge into the
+    // workspace's own `new`.
+    assert!(graph.edges[fn_ix(&table, "fresh")].is_empty(), "{:?}", graph.edges);
+}
+
+#[test]
+fn method_edges_cross_crates_only_with_a_textual_reference() {
+    let one = "pub struct A;\n\nimpl A {\n    pub fn go(&self) -> u32 {\n        1\n    }\n}\n\npub fn tick(a: &A) -> u32 {\n    a.go()\n}\n";
+    let two = "pub struct B;\n\nimpl B {\n    pub fn go(&self) -> u32 {\n        2\n    }\n}\n";
+    // No mention of the other crate: `.go()` stays inside mpa_one.
+    let (table, graph) =
+        build(&[("crates/one/src/lib.rs", one), ("crates/two/src/lib.rs", two)]);
+    assert_eq!(graph.edges[fn_ix(&table, "tick")], vec![method_ix(&table, "A", "go")]);
+    // A `use mpa_two::…` reference opens the over-approximation back up.
+    let one_with_ref = format!("use mpa_two::B;\n\n{one}");
+    let (table, graph) =
+        build(&[("crates/one/src/lib.rs", one_with_ref.as_str()), ("crates/two/src/lib.rs", two)]);
+    let edges = &graph.edges[fn_ix(&table, "tick")];
+    assert!(
+        edges.contains(&method_ix(&table, "A", "go"))
+            && edges.contains(&method_ix(&table, "B", "go")),
+        "{edges:?}"
+    );
+}
+
+#[test]
+fn test_fns_neither_create_nor_receive_reachability() {
+    let (table, graph) = build(&[(
+        "crates/fixture/src/lib.rs",
+        "pub fn root() -> u32 {\n    1\n}\n\npub fn helper() -> u32 {\n    2\n}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        assert_eq!(super::root() + super::helper(), 3);\n    }\n}\n",
+    )]);
+    let reach = graph.reachable(&[fn_ix(&table, "root")]);
+    assert!(!reach.contains(&fn_ix(&table, "helper")), "test call created reachability");
+}
+
+#[test]
+fn missing_manifest_root_is_a_hard_error() {
+    let srcs = sources(&[("crates/fixture/src/lib.rs", "pub fn real() -> u32 {\n    1\n}\n")]);
+    let err = audit_source_set("fixture", &srcs, "R7 nope::missing").unwrap_err();
+    assert!(matches!(err, AuditError::Root(_)), "{err:?}");
+    assert!(err.to_string().contains("matches no workspace function"), "{err}");
+}
+
+#[test]
+fn malformed_manifest_lines_are_hard_errors() {
+    let srcs = sources(&[("crates/fixture/src/lib.rs", "pub fn real() -> u32 {\n    1\n}\n")]);
+    // Missing fn path.
+    let err = audit_source_set("fixture", &srcs, "R7\n").unwrap_err();
+    assert!(matches!(err, AuditError::Root(_)), "{err:?}");
+    // Rules without reachability semantics cannot take roots.
+    let err = audit_source_set("fixture", &srcs, "R9 real\n").unwrap_err();
+    assert!(matches!(err, AuditError::Root(_)), "{err:?}");
+    // Comments and blank lines are fine, and a resolving root passes.
+    audit_source_set("fixture", &srcs, "# comment\n\nR7 real\n").expect("valid manifest");
+}

@@ -1,0 +1,7 @@
+pub struct Counter(u64);
+
+pub static REQUESTS_TOTAL: Counter = Counter(0);
+
+pub fn touch() -> u64 {
+    REQUESTS_TOTAL.0
+}

@@ -1,0 +1,8 @@
+pub struct Counter(u64);
+
+// mpa-lint: allow(R10) -- fixture: scraped externally by name
+pub static REQUESTS_TOTAL: Counter = Counter(0);
+
+pub fn touch() -> u64 {
+    REQUESTS_TOTAL.0
+}

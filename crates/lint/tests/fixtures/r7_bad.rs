@@ -1,0 +1,11 @@
+pub fn root_entry(xs: &[u32]) -> u32 {
+    deep(xs)
+}
+
+fn deep(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+fn not_called(xs: &[u32]) -> u32 {
+    xs.len() as u32 + xs.first().copied().unwrap()
+}

@@ -1,0 +1,8 @@
+pub fn root_entry(xs: &[u32]) -> u32 {
+    deep(xs)
+}
+
+fn deep(xs: &[u32]) -> u32 {
+    // mpa-lint: allow(R7) -- fixture: caller guarantees non-empty input
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,11 @@
+pub fn hot_loop(keys: &[&str]) -> usize {
+    let mut total = 0;
+    for k in keys {
+        total += widen(k);
+    }
+    total
+}
+
+fn widen(k: &str) -> usize {
+    k.to_string().len()
+}

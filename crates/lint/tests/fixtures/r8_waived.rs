@@ -1,0 +1,12 @@
+pub fn hot_loop(keys: &[&str]) -> usize {
+    let mut total = 0;
+    for k in keys {
+        total += widen(k);
+    }
+    total
+}
+
+fn widen(k: &str) -> usize {
+    // mpa-lint: allow(R8) -- fixture: intern-miss path, runs once per distinct key
+    k.to_string().len()
+}

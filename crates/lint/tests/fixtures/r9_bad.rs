@@ -1,0 +1,8 @@
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn respond(stream: &mut std::net::TcpStream, state: &Mutex<u64>) {
+    let guard = state.lock().expect("poisoned");
+    stream.write_all(b"ok").ok();
+    drop(guard);
+}

@@ -1,0 +1,9 @@
+use std::io::Write;
+use std::sync::Mutex;
+
+pub fn respond(stream: &mut std::net::TcpStream, state: &Mutex<u64>) {
+    let guard = state.lock().expect("poisoned");
+    // mpa-lint: allow(R9) -- fixture: single-byte ack; the held lock guards the stream itself
+    stream.write_all(b"ok").ok();
+    drop(guard);
+}

@@ -32,8 +32,30 @@ fn workspace_has_zero_unwaived_findings() {
 }
 
 #[test]
+fn graph_audit_is_clean_and_covers_the_workspace() {
+    let report = mpa_lint::audit_workspace(&workspace_root()).expect("workspace audit");
+    let violations: Vec<String> = report
+        .violations()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.excerpt))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "audit violations (fix them or add a justified waiver):\n{}",
+        violations.join("\n")
+    );
+    // Coverage floors: catastrophic symbol-layer regressions (a parser
+    // change that drops functions or edges) fail here immediately; the CI
+    // baseline gate catches gradual drift at a tighter 10% bound.
+    let stats = report.audit.expect("graph mode carries audit stats");
+    assert!(stats.fns_scanned >= 500, "audit shrank: {} fns scanned", stats.fns_scanned);
+    assert!(stats.edges >= 1000, "audit shrank: {} call edges", stats.edges);
+    assert!(stats.reachable_r7 >= 100, "R7 root cover collapsed: {}", stats.reachable_r7);
+    assert!(stats.reachable_r8 > 0, "R8 root cover collapsed: {}", stats.reachable_r8);
+}
+
+#[test]
 fn every_surviving_waiver_carries_a_justification() {
-    let report = mpa_lint::scan_workspace(&workspace_root()).expect("workspace scan");
+    let report = mpa_lint::audit_workspace(&workspace_root()).expect("workspace audit");
     for f in &report.findings {
         if f.waived {
             assert!(

@@ -72,7 +72,8 @@ pub fn bgp_instances(
         .collect();
     let mut graph = Topology::new();
     for &dev in &speakers {
-        for &peer in &facts[&dev].bgp_neighbor_devices {
+        let Some(f) = facts.get(&dev) else { continue };
+        for &peer in &f.bgp_neighbor_devices {
             if peer != dev && members.contains(&peer) {
                 graph.add_link(Link::new(dev, peer));
             }

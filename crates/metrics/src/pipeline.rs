@@ -299,6 +299,7 @@ fn infer_network(
         };
 
         let mut values = vec![0.0; N_METRICS];
+        // mpa-lint: allow(R7) -- Metric::index() is the dense slot in a values vec sized N_METRICS
         let mut set = |m: Metric, v: f64| values[m.index()] = v;
         set(Metric::Workloads, design.workloads);
         set(Metric::Devices, design.devices);

@@ -22,6 +22,7 @@ static MAX_REGION_WORKERS: AtomicU64 = AtomicU64::new(0);
 /// one region (items for `par_map`, chunks for `par_chunk_map`;
 /// sequential fallbacks record everything on slot 0).
 pub fn record_worker(slot: usize, tasks: u64) {
+    // mpa-lint: allow(R7) -- min(MAX_SLOTS - 1) clamps the slot into the fixed-size array
     WORKER_TASKS[slot.min(MAX_SLOTS - 1)].fetch_add(tasks, Ordering::Relaxed);
 }
 

@@ -179,11 +179,12 @@ impl Server {
             .latencies_us
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if !lat.is_empty() {
-            lat.sort_unstable();
-            gauges::SERVE_LATENCY_P50_US.set(lat[lat.len() / 2]);
-            gauges::SERVE_LATENCY_P99_US.set(lat[(lat.len() * 99 / 100).min(lat.len() - 1)]);
-            gauges::SERVE_LATENCY_MAX_US.set(lat[lat.len() - 1]);
+        lat.sort_unstable();
+        if let Some(&max) = lat.last() {
+            let at = |i: usize| lat.get(i).copied().unwrap_or(max);
+            gauges::SERVE_LATENCY_P50_US.set(at(lat.len() / 2));
+            gauges::SERVE_LATENCY_P99_US.set(at(lat.len() * 99 / 100));
+            gauges::SERVE_LATENCY_MAX_US.set(max);
         }
         gauges::SERVE_QUEUE_PEAK.set(self.shared.queue_peak.load(Ordering::Relaxed));
         Ok(())

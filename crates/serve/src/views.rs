@@ -23,13 +23,13 @@ fn push_f64(out: &mut String, v: f64) {
 /// Append a `"name": value` pair for every metric, in `Metric::ALL` order.
 fn push_metric_values(out: &mut String, values: &[f64]) {
     out.push('{');
-    for (i, m) in Metric::ALL.iter().enumerate() {
+    for (i, (m, v)) in Metric::ALL.iter().zip(values).enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
         push_str_literal(out, m.name());
         out.push_str(": ");
-        push_f64(out, values[i]);
+        push_f64(out, *v);
     }
     out.push('}');
 }

@@ -516,6 +516,14 @@ fn realized_type(kind: OpKind, dialect: Dialect) -> ChangeType {
     }
 }
 
+/// Uniformly pick an element of `xs`: the same single `uniform_range`
+/// draw as indexing by hand (seed streams are unchanged), but bounds-safe
+/// — `None` on an empty slice instead of a panic.
+fn pick<'a, T, R: Rng>(s: &mut Sampler<'_, R>, xs: &'a [T]) -> Option<&'a T> {
+    let last = xs.len().checked_sub(1)?;
+    xs.get(s.uniform_range(0, last as u64) as usize)
+}
+
 /// Apply one semantic operation to one device. Every branch is guaranteed to
 /// actually modify the rendered config (the `rev` counter provides fresh
 /// values), so a simulated change never silently diffs to nothing.
@@ -542,7 +550,7 @@ fn apply_op<R: Rng>(
             if s.bernoulli(0.7) {
                 cfg.set_description(port, format!("maintenance rev {rev}"));
             } else {
-                cfg.set_mtu(port, [1500u16, 4000, 9000][(rev % 3) as usize]);
+                cfg.set_mtu(port, match rev % 3 { 0 => 1500u16, 1 => 4000, _ => 9000 });
                 // MTU may coincide with the current value; stamp the
                 // description too so the change is always observable.
                 cfg.set_description(port, format!("mtu change rev {rev}"));
@@ -573,7 +581,7 @@ fn apply_op<R: Rng>(
             // ones; never retire the network's base VLAN pool.
             let dynamic: Vec<u16> = cfg.vlans.keys().copied().filter(|v| *v >= 2000).collect();
             if !dynamic.is_empty() && s.bernoulli(0.45) {
-                let victim = dynamic[s.uniform_range(0, dynamic.len() as u64 - 1) as usize];
+                let Some(&victim) = pick(s, &dynamic) else { return };
                 // Member list *before* removal: `remove_vlan` detaches the
                 // member interfaces, and their chunks change with it.
                 let members =
@@ -610,7 +618,7 @@ fn apply_op<R: Rng>(
                     chunk::mark_acl(dl, &name, d);
                 }
             } else {
-                let name = &names[s.uniform_range(0, names.len() as u64 - 1) as usize];
+                let Some(name) = pick(s, &names) else { return };
                 let n_rules = cfg.acls[name].rules.len();
                 if n_rules > 3 && s.bernoulli(0.4) {
                     cfg.acl_remove_rule(name, s.uniform_range(0, n_rules as u64 - 1) as usize);
@@ -632,16 +640,20 @@ fn apply_op<R: Rng>(
         }
         OpKind::PoolResize => {
             let names: Vec<String> = cfg.pools.keys().cloned().collect();
-            let name = if names.is_empty() {
-                let n = format!("pool-dyn-{}", dev.0);
-                cfg.add_pool(&n, "tcp");
-                n
-            } else {
-                names[s.uniform_range(0, names.len() as u64 - 1) as usize].clone()
+            let name = match pick(s, &names) {
+                Some(n) => n.clone(),
+                None => {
+                    let n = format!("pool-dyn-{}", dev.0);
+                    cfg.add_pool(&n, "tcp");
+                    n
+                }
             };
-            let members: Vec<String> = cfg.pools[&name].members.iter().cloned().collect();
+            let members: Vec<String> = cfg
+                .pools
+                .get(&name)
+                .map_or_else(Vec::new, |p| p.members.iter().cloned().collect());
             if members.len() > 2 && s.bernoulli(0.45) {
-                let victim = &members[s.uniform_range(0, members.len() as u64 - 1) as usize];
+                let Some(victim) = pick(s, &members) else { return };
                 cfg.pool_remove_member(&name, victim);
             } else {
                 // Probe for an endpoint not already in the set (members is a
@@ -650,7 +662,7 @@ fn apply_op<R: Rng>(
                 let member = loop {
                     let candidate =
                         format!("192.168.{}.{}:{}", 200 + k % 55, k % 250, 400 + k % 600);
-                    if !cfg.pools[&name].members.contains(&candidate) {
+                    if !cfg.pools.get(&name).is_some_and(|p| p.members.contains(&candidate)) {
                         break candidate;
                     }
                     k += 7919;
@@ -665,7 +677,7 @@ fn apply_op<R: Rng>(
             let temps: Vec<String> =
                 cfg.users.keys().filter(|u| u.starts_with("tmp")).cloned().collect();
             let name = if !temps.is_empty() && s.bernoulli(0.5) {
-                let victim = temps[s.uniform_range(0, temps.len() as u64 - 1) as usize].clone();
+                let Some(victim) = pick(s, &temps).cloned() else { return };
                 cfg.remove_user(&victim);
                 victim
             } else {
@@ -691,7 +703,7 @@ fn apply_op<R: Rng>(
                 })
                 .unwrap_or_default();
             if !externals.is_empty() && s.bernoulli(0.4) {
-                let victim = &externals[s.uniform_range(0, externals.len() as u64 - 1) as usize];
+                let Some(victim) = pick(s, &externals) else { return };
                 cfg.bgp_remove_neighbor(victim);
             } else {
                 // Probe for a peer address not already configured so the

@@ -5,6 +5,24 @@
 //! fixture suite under `crates/lint/tests/`.)
 
 #[test]
+fn workspace_has_zero_unwaived_audit_findings() {
+    // Graph mode: line rules R1–R6 plus the reachability families R7–R10
+    // (panic-safety, hot-path allocation, lock discipline, dead counters)
+    // over the call graph rooted at `audit_roots.txt`.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = mpa_lint::audit_workspace(root).expect("workspace audit");
+    let violations: Vec<String> = report
+        .violations()
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.excerpt))
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "audit violations (fix them or add a justified waiver):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
 fn workspace_has_zero_unwaived_lint_findings() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = mpa_lint::scan_workspace(root).expect("workspace scan");
